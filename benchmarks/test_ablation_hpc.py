@@ -1,0 +1,48 @@
+"""Ablation A3: tiles-per-cycle (the fat-core argument).
+
+The paper's premise: server cores are fat and clocked high, so only ~2
+tiles fit in a cycle, which neuters SMART.  Sweeping the ideal network's
+hops-per-cycle shows how much headroom a leaner-tile design would have.
+"""
+
+from dataclasses import replace
+
+from repro.harness.reporting import format_table
+from repro.params import ChipParams, NocKind
+from repro.perf.system import simulate
+
+WORKLOAD = "Web Search"
+HOPS = (1, 2, 4)
+
+
+def test_ablation_hpc(benchmark, save_result, scale):
+    def run_all():
+        mesh = simulate(WORKLOAD, NocKind.MESH, warmup=scale.warmup,
+                        measure=scale.measure, seed=1)
+        out = {"mesh": mesh}
+        for hpc in HOPS:
+            base = ChipParams()
+            params = replace(base, noc=replace(base.noc,
+                                               kind=NocKind.IDEAL,
+                                               ideal_hops_per_cycle=hpc))
+            out[hpc] = simulate(WORKLOAD, NocKind.IDEAL,
+                                warmup=scale.warmup, measure=scale.measure,
+                                seed=1, chip_params=params)
+        return out
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    base = results["mesh"].ipc
+    rows = [
+        [str(k), s.ipc / base, s.avg_network_latency]
+        for k, s in results.items()
+    ]
+    save_result(
+        "ablation_hpc",
+        format_table(["Config", "Perf vs Mesh", "NetLatency"], rows,
+                     "Ablation A3: ideal-network tiles-per-cycle sweep"),
+    )
+    # More tiles per cycle monotonically helps (saturating).
+    assert results[2].ipc >= results[1].ipc
+    assert results[4].ipc >= results[2].ipc * 0.99
+    # Even 1 tile/cycle with zero router delay beats the mesh.
+    assert results[1].ipc > base

@@ -1,0 +1,51 @@
+"""Ablation A4: open-loop load-latency curves under synthetic traffic.
+
+Network-level validation outside the full-system loop: uniform-random
+request-reply traffic at increasing injection rates.  The expected
+shape: at low load latencies order as Ideal < Mesh+PRA < Mesh ~= SMART;
+all saturate as offered load approaches capacity.
+"""
+
+from repro.harness.reporting import format_table
+from repro.noc.network import build_network
+from repro.params import NocKind, NocParams
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+RATES = (0.002, 0.01, 0.03)
+KINDS = (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA, NocKind.IDEAL)
+
+
+def _avg_latency(kind, rate, cycles):
+    net = build_network(NocParams(kind=kind))
+    traffic = SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, rate,
+                               seed=5)
+    traffic.run(cycles)
+    return net.stats.avg_network_latency
+
+
+def test_ablation_load_latency(benchmark, save_result, scale):
+    cycles = max(1500, scale.measure // 2)
+
+    def run_all():
+        return {
+            (kind, rate): _avg_latency(kind, rate, cycles)
+            for kind in KINDS
+            for rate in RATES
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = [
+        [kind.value] + [results[(kind, r)] for r in RATES]
+        for kind in KINDS
+    ]
+    save_result(
+        "ablation_load_latency",
+        format_table(["Organization"] + [f"rate={r}" for r in RATES], rows,
+                     "Ablation A4: load-latency (uniform random)"),
+    )
+    for rate in RATES:
+        # The ideal network lower-bounds everything at every load point.
+        for kind in (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA):
+            assert results[(NocKind.IDEAL, rate)] < results[(kind, rate)]
+        # Latency grows with load for the realistic networks.
+    assert results[(NocKind.MESH, RATES[-1])] > results[(NocKind.MESH, RATES[0])]

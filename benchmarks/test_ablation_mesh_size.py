@@ -1,0 +1,56 @@
+"""Ablation A5: mesh size (hop count) vs. PRA's benefit.
+
+PRA removes per-hop allocation time, so its absolute gain should grow
+with the average hop count — i.e. with the mesh dimension — while SMART
+stays pinned near the mesh.
+"""
+
+from dataclasses import replace
+
+from repro.harness.reporting import format_table
+from repro.params import ChipParams, NocKind
+from repro.perf.system import simulate
+
+WORKLOAD = "Web Search"
+SIZES = ((4, 4), (6, 6), (8, 8))
+
+
+def _chip(width, height, kind):
+    base = ChipParams()
+    return replace(base, noc=replace(base.noc, kind=kind, mesh_width=width,
+                                     mesh_height=height))
+
+
+def test_ablation_mesh_size(benchmark, save_result, scale):
+    def run_all():
+        rows = []
+        for width, height in SIZES:
+            mesh = simulate(WORKLOAD, NocKind.MESH, warmup=scale.warmup,
+                            measure=scale.measure, seed=1,
+                            chip_params=_chip(width, height, NocKind.MESH))
+            pra = simulate(WORKLOAD, NocKind.MESH_PRA, warmup=scale.warmup,
+                           measure=scale.measure, seed=1,
+                           chip_params=_chip(width, height,
+                                             NocKind.MESH_PRA))
+            rows.append([
+                f"{width}x{height}",
+                mesh.avg_network_latency,
+                pra.avg_network_latency,
+                pra.ipc / mesh.ipc,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    save_result(
+        "ablation_mesh_size",
+        format_table(
+            ["Mesh", "Mesh latency", "PRA latency", "PRA speedup"],
+            rows, "Ablation A5: mesh-size sweep"),
+    )
+    by_size = {r[0]: r for r in rows}
+    # PRA always helps, and its latency advantage widens with size.
+    for row in rows:
+        assert row[2] < row[1]
+    gain_small = by_size["4x4"][1] - by_size["4x4"][2]
+    gain_large = by_size["8x8"][1] - by_size["8x8"][2]
+    assert gain_large > gain_small

@@ -1,0 +1,64 @@
+"""Latency attribution: the numbers behind EXPERIMENTS.md's gap analysis.
+
+Splits Mesh+PRA network latency into planned responses, unplanned
+responses, and requests, and reports plan coverage and length — the
+quantities that explain how much of the mesh-to-ideal gap PRA can
+capture in this substrate.
+"""
+
+from repro.harness.reporting import format_table
+from repro.params import NocKind
+from repro.perf.instrumentation import PraProbe
+from repro.perf.system import SystemSimulator
+
+WORKLOAD = "Web Search"
+
+
+def test_attribution(benchmark, save_result, scale):
+    def run():
+        sim = SystemSimulator(WORKLOAD, NocKind.MESH_PRA, seed=1)
+        probe = PraProbe.attach(sim.chip.network)
+        sample = sim.run_sample(warmup=scale.warmup, measure=scale.measure)
+        mesh = SystemSimulator(WORKLOAD, NocKind.MESH, seed=1)
+        mesh_sample = mesh.run_sample(warmup=scale.warmup,
+                                      measure=scale.measure)
+        ideal = SystemSimulator(WORKLOAD, NocKind.IDEAL, seed=1)
+        ideal_sample = ideal.run_sample(warmup=scale.warmup,
+                                        measure=scale.measure)
+        return probe.report(), sample, mesh_sample, ideal_sample
+
+    report, sample, mesh_sample, ideal_sample = benchmark.pedantic(
+        run, iterations=1, rounds=1
+    )
+    rows = [
+        ["planned responses", report.planned_responses,
+         report.planned_response_latency],
+        ["unplanned responses", report.unplanned_responses,
+         report.unplanned_response_latency],
+        ["requests", report.requests, report.request_latency],
+        ["(mesh avg, all)", mesh_sample.packets,
+         mesh_sample.avg_network_latency],
+        ["(ideal avg, all)", ideal_sample.packets,
+         ideal_sample.avg_network_latency],
+    ]
+    extra = (
+        f"plan coverage {report.planned_fraction:.0%}, "
+        f"mean plan length {report.mean_plan_length:.2f} steps, "
+        f"capture = {(mesh_sample.avg_network_latency - sample.avg_network_latency) / max(1e-9, mesh_sample.avg_network_latency - ideal_sample.avg_network_latency):.2f}"
+    )
+    save_result(
+        "attribution",
+        format_table(["Population", "Packets", "Mean latency"], rows,
+                     f"Latency attribution ({WORKLOAD})") + "\n" + extra,
+    )
+    # The structural facts the gap analysis rests on:
+    assert report.planned_fraction > 0.5
+    assert (report.planned_response_latency
+            < report.unplanned_response_latency)
+    assert (report.planned_response_latency
+            < mesh_sample.avg_network_latency)
+    # Requests ride the plain mesh (within noise).
+    assert report.request_latency == (
+        __import__("pytest").approx(mesh_sample.avg_network_latency,
+                                    rel=0.25)
+    )

@@ -1,0 +1,21 @@
+"""Figure 2: SMART barely helps servers; an ideal NOC helps a lot.
+
+Paper: SMART's performance is almost the same as the mesh's, while a
+zero-router-delay network gains ~28% on Media Streaming + Web Search.
+"""
+
+from repro.harness import figure2, render_figure
+from repro.params import NocKind
+
+
+def test_fig2_motivation(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        lambda: figure2(scale), iterations=1, rounds=1
+    )
+    save_result("fig2_motivation", render_figure(result))
+    gmeans = result["gmeans"]
+    # SMART is within a few percent of the mesh (the paper's point).
+    assert abs(gmeans[NocKind.SMART] - 1.0) < 0.05
+    # The ideal network gains substantially (paper: ~1.28).
+    assert gmeans[NocKind.IDEAL] > 1.15
+    assert gmeans[NocKind.IDEAL] > gmeans[NocKind.SMART]

@@ -1,0 +1,28 @@
+"""Figure 6: full-system performance of all four organizations.
+
+Paper shape: Mesh ~= SMART < Mesh+PRA < Ideal for every workload, with
+Media Streaming among the largest PRA gains.  See EXPERIMENTS.md for the
+paper-vs-measured magnitudes.
+"""
+
+from repro.harness import figure6, render_figure
+from repro.params import NocKind
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+
+def test_fig6_performance(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        lambda: figure6(scale), iterations=1, rounds=1
+    )
+    save_result("fig6_performance", render_figure(result))
+    gmeans = result["gmeans"]
+    normalized = result["normalized"]
+    # Ordering: PRA beats both realistic baselines, ideal beats all.
+    assert gmeans[NocKind.MESH_PRA] > gmeans[NocKind.MESH]
+    assert gmeans[NocKind.MESH_PRA] > gmeans[NocKind.SMART]
+    assert gmeans[NocKind.IDEAL] > gmeans[NocKind.MESH_PRA]
+    # SMART is within a few percent of the mesh.
+    assert abs(gmeans[NocKind.SMART] - 1.0) < 0.05
+    # PRA helps every workload.
+    for workload in WORKLOAD_NAMES:
+        assert normalized[workload][NocKind.MESH_PRA] > 1.0

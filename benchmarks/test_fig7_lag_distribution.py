@@ -1,0 +1,22 @@
+"""Figure 7: distribution of control-packet lag at drop.
+
+Paper: lag 0 is the dominant bucket (53-67%, average ~61%); more than
+98% of control packets die with lag 0-2.
+"""
+
+from repro.harness import figure7, render_figure
+
+
+def test_fig7_lag_distribution(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        lambda: figure7(scale), iterations=1, rounds=1
+    )
+    save_result("fig7_lag_distribution", render_figure(result))
+    for row in result["rows"]:
+        workload, lag0, lag1, lag2, others = row
+        total = lag0 + lag1 + lag2 + others
+        assert abs(total - 1.0) < 1e-6
+        # Lag 0 is the most common terminal value.
+        assert lag0 >= lag1 and lag0 >= lag2
+        # Most control packets pre-allocate most of their path.
+        assert lag0 + lag1 + lag2 > 0.6

@@ -1,0 +1,25 @@
+"""Figure 8: NOC area breakdown.
+
+Paper: Mesh 3.5 mm2; SMART 4.5 mm2 (+31%); Mesh+PRA 4.9 mm2 (+40%);
+links and buffers dominate; all small next to a >200 mm2 chip.
+"""
+
+import pytest
+
+from repro.harness import figure8, render_figure
+from repro.params import ChipParams, NocKind
+from repro.physical.density import chip_area_mm2
+
+
+def test_fig8_area(benchmark, save_result):
+    result = benchmark.pedantic(figure8, iterations=1, rounds=1)
+    save_result("fig8_area", render_figure(result))
+    areas = result["areas"]
+    assert areas[NocKind.MESH].total_mm2 == pytest.approx(3.5, rel=0.05)
+    assert areas[NocKind.SMART].total_mm2 == pytest.approx(4.5, rel=0.05)
+    assert areas[NocKind.MESH_PRA].total_mm2 == pytest.approx(4.9, rel=0.05)
+    # Relative to the whole chip the overheads are small.
+    chip = ChipParams()
+    for kind in (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA):
+        assert chip_area_mm2(chip, kind) > 200.0
+        assert areas[kind].total_mm2 / chip_area_mm2(chip, kind) < 0.03

@@ -1,0 +1,20 @@
+"""Figure 9: performance density (performance per mm2).
+
+Paper: Mesh+PRA is the most area-efficient realistic organization —
+its performance gain dwarfs its ~0.7% chip-area overhead.
+"""
+
+from repro.harness import figure9, render_figure
+from repro.params import NocKind
+
+
+def test_fig9_density(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        lambda: figure9(scale), iterations=1, rounds=1
+    )
+    save_result("fig9_density", render_figure(result))
+    gmeans = result["gmeans"]
+    assert gmeans[NocKind.MESH_PRA] > gmeans[NocKind.MESH]
+    assert gmeans[NocKind.MESH_PRA] > gmeans[NocKind.SMART]
+    # The ideal network (charged mesh area) bounds everything.
+    assert gmeans[NocKind.IDEAL] > gmeans[NocKind.MESH_PRA]

@@ -1,0 +1,19 @@
+"""Section V-E: power analysis.
+
+Paper: NOC power stays below 2 W for every organization while the cores
+alone consume in excess of 60 W.
+"""
+
+from repro.harness import power_analysis, render_figure
+from repro.params import ChipParams
+
+
+def test_sec5e_power(benchmark, save_result, scale):
+    result = benchmark.pedantic(
+        lambda: power_analysis(scale), iterations=1, rounds=1
+    )
+    save_result("sec5e_power", render_figure(result))
+    chip = ChipParams()
+    for kind, power in result["powers"].items():
+        assert power.total_w < 2.0, kind
+    assert chip.num_tiles * chip.core.power_w > 60.0

@@ -1,0 +1,12 @@
+"""Table I: the evaluation configuration, echoed for consistency."""
+
+from repro.harness import table1, render_figure
+
+
+def test_table1_parameters(benchmark, save_result):
+    result = benchmark.pedantic(table1, iterations=1, rounds=1)
+    save_result("table1_parameters", render_figure(result))
+    text = render_figure(result)
+    for expected in ("32 nm", "64", "8.0 MB", "DDR3", "3-way OoO",
+                     "5 ports", "128 bits", "max lag 4"):
+        assert expected in text

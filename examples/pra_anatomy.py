@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Anatomy of one proactive resource allocation.
+
+Traces a single LLC-hit-triggered control packet through the control
+network and then watches the data packet ride the pre-allocated path:
+which routers reserved which timeslots, where the packet is latched,
+where it bypasses, and when each flit lands.  This is Figure 3 and
+Figure 5(b) of the paper, animated in text.
+
+Run:  python examples/pra_anatomy.py
+"""
+
+from repro.core.plan import LAND_LATCH, LAND_NI, LAND_VC
+from repro.noc.network import build_network
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind, NocParams
+
+
+def main() -> None:
+    net = build_network(NocParams(kind=NocKind.MESH_PRA))
+    # LLC slice at node 16 (coords (0,2)), requesting core at node 21
+    # (coords (5,2)): a 5-hop straight path plus ejection.
+    src, dst = 16, 21
+    response = Packet(src=src, dst=dst, msg_class=MessageClass.RESPONSE,
+                      created=net.cycle)
+
+    print(f"Cycle {net.cycle}: LLC tag lookup hits at node {src}; the "
+          f"controller announces the\nresponse (destination node {dst}) "
+          f"four cycles before the data lookup completes.\n")
+    net.announce(response, ready_in=4)
+    net.run(4)
+    net.send(response)
+
+    plan = response.pra_plan
+    if plan is None:
+        raise SystemExit("no plan was built (unexpected on an idle mesh)")
+    # Let the control packet finish its run and the data packet ride the
+    # path before printing the complete plan.
+    net.drain(max_cycles=300)
+    print("Control packet's reservations (one PlanStep per cycle):")
+    kind_name = {LAND_VC: "standard VC (buffer claimed for the full packet)",
+                 LAND_LATCH: "one-cycle latch",
+                 LAND_NI: "network interface (delivered)"}
+    for i, step in enumerate(plan.steps):
+        via = (f", bypassing node {step.via_node} combinationally"
+               if step.via_node is not None else "")
+        print(f"  step {i}: cycle {step.slot}: node {step.driver_node} "
+              f"drives {step.hops} hop(s) {step.out_dir.name}{via}")
+        print(f"          -> lands at node {step.landing_node} in "
+              f"{kind_name[step.landing_kind]}")
+
+    print(f"\nDelivered at cycle {response.ejected}: "
+          f"network latency {response.network_latency()} cycles for "
+          f"{response.size} flits over {response.hops_taken} hops.")
+
+    # The same transfer on the plain mesh, for contrast.
+    mesh = build_network(NocParams(kind=NocKind.MESH))
+    ref = Packet(src=src, dst=dst, msg_class=MessageClass.RESPONSE,
+                 created=mesh.cycle)
+    mesh.send(ref)
+    mesh.drain(max_cycles=300)
+    print(f"Baseline mesh needs {ref.network_latency()} cycles — PRA "
+          f"removed {ref.network_latency() - response.network_latency()} "
+          f"cycles of per-hop resource allocation.")
+
+
+if __name__ == "__main__":
+    main()

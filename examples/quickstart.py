@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: one LLC response across the four network organizations.
+
+Builds each network on an 8x8 mesh, sends a 5-flit response packet from
+an LLC slice (node 0) to a core (node 7) with the PRA announce window,
+and prints the end-to-end network latency.  The punchline matches the
+paper's motivation: SMART barely beats the mesh, while Mesh+PRA lands
+close to the ideal network.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.noc.network import build_network
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind, NocParams
+
+
+def main() -> None:
+    print("One 5-flit LLC response, node 0 -> node 7 (7 hops straight):\n")
+    for kind in (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA,
+                 NocKind.IDEAL):
+        net = build_network(NocParams(kind=kind))
+        packet = Packet(src=0, dst=7, msg_class=MessageClass.RESPONSE,
+                        created=net.cycle)
+        # The tile layer would do this on an LLC tag hit: announce the
+        # response four cycles (the data-lookup time) before sending it.
+        net.announce(packet, ready_in=4)
+        net.run(4)
+        net.send(packet)
+        net.drain(max_cycles=500)
+        print(f"  {kind.value:10s} network latency = "
+              f"{packet.network_latency():3d} cycles "
+              f"(head traversed {packet.hops_taken} hops)")
+    print("\nMesh+PRA rides a pre-allocated path at two tiles per cycle;")
+    print("only the ideal (zero router delay) network is faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Load-latency sweep under synthetic request-reply traffic.
+
+Drives each network organization open-loop (BookSim-style) with
+uniform-random request-reply traffic at increasing injection rates and
+prints the latency curves.  Useful for network-level validation outside
+the full-system model.
+
+Run:  python examples/synthetic_sweep.py
+"""
+
+from repro.noc.network import build_network
+from repro.params import NocKind, NocParams
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+RATES = (0.002, 0.005, 0.01, 0.02, 0.04)
+CYCLES = 2000
+
+
+def main() -> None:
+    kinds = (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA, NocKind.IDEAL)
+    print("Average network latency (cycles), uniform-random traffic, "
+          "8x8 mesh:\n")
+    header = "rate      " + "".join(f"{k.value:>10s}" for k in kinds)
+    print(header)
+    print("-" * len(header))
+    for rate in RATES:
+        cells = []
+        for kind in kinds:
+            net = build_network(NocParams(kind=kind))
+            traffic = SyntheticTraffic(
+                net, TrafficPattern.UNIFORM_RANDOM, rate, seed=9
+            )
+            traffic.run(CYCLES)
+            cells.append(f"{net.stats.avg_network_latency:10.2f}")
+        print(f"{rate:<10.3f}" + "".join(cells))
+    print("\nThe ideal curve lower-bounds everything; Mesh+PRA tracks it "
+          "more closely\nthan SMART, whose setup cycle cancels its "
+          "multi-hop advantage at two tiles\nper cycle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so editable
+installs must use setuptools' legacy ``develop`` path
+(``pip install -e . --no-build-isolation``); this file enables it.
+Package metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [--scale S] [--only fig6,...] [--json PATH]`` — reproduce
+  the paper's tables/figures and print them;
+* ``simulate WORKLOAD [--noc KIND] [--warmup N] [--measure N] [--seed N]``
+  — one full-system run with diagnostics;
+* ``sweep [--noc KIND] [--pattern P] [--rates ...]`` — open-loop
+  load-latency curves under synthetic traffic;
+* ``area`` / ``power`` — the analytic physical models;
+* ``params`` — echo the Table I configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.params import ChipParams, NocKind
+from repro.harness import (
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    get_scale,
+    power_analysis,
+    render_figure,
+    section5b_stats,
+    table1,
+    zero_load_table,
+)
+from repro.harness.reporting import render_bars
+
+_FIGURES = {
+    "table1": lambda scale: table1(),
+    "fig2": figure2,
+    "fig6": figure6,
+    "fig7": figure7,
+    "sec5b": section5b_stats,
+    "fig8": lambda scale: figure8(),
+    "fig9": figure9,
+    "power": power_analysis,
+    "zeroload": lambda scale: zero_load_table(),
+}
+
+_NOC_KINDS = {k.value: k for k in NocKind}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    names = args.only.split(",") if args.only else list(_FIGURES)
+    collected = {}
+    for name in names:
+        if name not in _FIGURES:
+            print(f"unknown figure {name!r}; choose from {list(_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        result = _FIGURES[name](scale)
+        collected[name] = result
+        print(render_bars(result) if args.bars else render_figure(result))
+        print()
+    if args.json:
+        serializable = {
+            name: {"title": r["title"], "headers": r["headers"],
+                   "rows": [[str(c) for c in row] for row in r["rows"]]}
+            for name, r in collected.items()
+        }
+        with open(args.json, "w") as fh:
+            json.dump(serializable, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perf.system import simulate
+
+    kind = _NOC_KINDS[args.noc]
+    sample = simulate(args.workload, kind, warmup=args.warmup,
+                      measure=args.measure, seed=args.seed)
+    print(f"workload:             {sample.workload}")
+    print(f"organization:         {kind.value}")
+    print(f"aggregate IPC:        {sample.ipc:.2f}")
+    print(f"packets delivered:    {sample.packets}")
+    print(f"avg network latency:  {sample.avg_network_latency:.2f} cycles")
+    if kind is NocKind.MESH_PRA:
+        print(f"control/data packets: {sample.control_per_data:.2f}")
+        print(f"lag distribution:     "
+              + ", ".join(f"lag{k}={v:.0%}"
+                          for k, v in sorted(sample.lag_distribution.items())))
+        print(f"blocked fraction:     {sample.pra_blocked_fraction:.3%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.noc.network import build_network
+    from repro.params import NocParams
+    from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+    pattern = TrafficPattern(args.pattern)
+    kinds = ([_NOC_KINDS[args.noc]] if args.noc
+             else list(NocKind))
+    rates = [float(r) for r in args.rates.split(",")]
+    header = "rate      " + "".join(f"{k.value:>10s}" for k in kinds)
+    print(header)
+    print("-" * len(header))
+    for rate in rates:
+        cells = []
+        for kind in kinds:
+            net = build_network(NocParams(kind=kind))
+            SyntheticTraffic(net, pattern, rate, seed=args.seed).run(
+                args.cycles
+            )
+            cells.append(f"{net.stats.avg_network_latency:10.2f}")
+        print(f"{rate:<10.4f}" + "".join(cells))
+    return 0
+
+
+def _cmd_area(_args: argparse.Namespace) -> int:
+    print(render_figure(figure8()))
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    print(render_figure(power_analysis(scale)))
+    return 0
+
+
+def _cmd_params(_args: argparse.Namespace) -> int:
+    print(render_figure(table1()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Near-Ideal Networks-on-Chip for "
+                    "Servers' (HPCA 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="reproduce the paper's figures")
+    p.add_argument("--scale", default=None,
+                   help="smoke | default | full (or REPRO_SCALE)")
+    p.add_argument("--only", default=None,
+                   help=f"comma list from {list(_FIGURES)}")
+    p.add_argument("--json", default=None, help="also dump JSON here")
+    p.add_argument("--bars", action="store_true",
+                   help="render ASCII bar charts instead of tables")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("simulate", help="one full-system run")
+    p.add_argument("workload")
+    p.add_argument("--noc", default="mesh+pra", choices=sorted(_NOC_KINDS))
+    p.add_argument("--warmup", type=int, default=1000)
+    p.add_argument("--measure", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="synthetic load-latency sweep")
+    p.add_argument("--noc", default=None, choices=sorted(_NOC_KINDS))
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--rates", default="0.002,0.005,0.01,0.02")
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("area", help="Figure 8 area model")
+    p.set_defaults(func=_cmd_area)
+
+    p = sub.add_parser("power", help="Section V-E power analysis")
+    p.add_argument("--scale", default="smoke")
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser("params", help="echo the Table I configuration")
+    p.set_defaults(func=_cmd_params)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

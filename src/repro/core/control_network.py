@@ -1,0 +1,444 @@
+"""The bufferless control network that performs proactive allocation.
+
+Structure (paper Figure 5): a mesh of single-cycle 2-hop multi-drop
+segments per direction.  A control packet is one flit: {destination, lag,
+packet size, message class, look-ahead route}.  Each hop costs one cycle
+of processing and one of transmission, so the control packet advances
+two hops per two cycles while the corresponding data packet will cover
+two hops per cycle on the pre-allocated path — hence the *lag* (cycles
+between control and data packet) shrinks by one per segment and the
+packet is dropped when it reaches zero.  Turns are not allowed inside a
+multi-drop segment, so a segment that would cross the XY turn point
+covers a single hop.  A control packet that cannot reserve what it needs
+is simply dropped; partial pre-allocation keeps whatever was reserved.
+
+Mapping into the simulator: a :class:`ControlRun` walks the data
+packet's XY route, attempting one :class:`~repro.core.plan.PlanStep`
+every two cycles.  Reservation attempts are all-or-nothing per step:
+driver-port timeslots, bypassed-router timeslots, crossbar input slots,
+latch availability (for the ACK conversion of the previous landing), and
+full-packet buffer space at the new landing.  Contention for the
+multi-drop media and injection latches is modeled with per-(node,
+direction, cycle) claims; the loser is dropped, mirroring the statically
+prioritized input latches of the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.plan import (
+    LAND_LATCH,
+    LAND_NI,
+    LAND_VC,
+    PlanStep,
+    PraPlan,
+    SRC_LATCH,
+    SRC_VC,
+)
+from repro.core.reservation import ReservationEntry
+from repro.noc.packet import Packet
+from repro.noc.routing import xy_route
+from repro.noc.topology import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pra_network import PraNetwork
+    from repro.core.pra_router import PraRouter
+
+#: Drop reasons (Figure 7 groups drops by remaining lag; reasons feed
+#: the more detailed diagnostics).
+DROP_LAG_ZERO = "lag_zero"
+DROP_RESOURCE_BUSY = "resource_busy"
+DROP_CONTROL_CONFLICT = "control_conflict"
+DROP_REACHED_DESTINATION = "reached_destination"
+
+#: Cycles per multi-drop segment: one processing + one transmission.
+SEGMENT_CYCLES = 2
+
+
+class ControlRun:
+    """One control packet's life, from injection to drop."""
+
+    __slots__ = (
+        "packet",
+        "plan",
+        "route",
+        "pos",
+        "next_slot",
+        "lag",
+        "trigger",
+        "source_kind",
+        "source_dir",
+        "source_vc",
+        "entry_dir",
+    )
+
+    def __init__(
+        self,
+        packet: Packet,
+        route: List[Tuple[int, Direction]],
+        start_slot: int,
+        lag: int,
+        trigger: str,
+        source_kind: str,
+        source_dir: Direction,
+        source_vc: int,
+    ):
+        self.packet = packet
+        self.plan = PraPlan(packet, start_slot)
+        self.route = route
+        self.pos = 0
+        self.next_slot = start_slot
+        self.lag = lag
+        self.trigger = trigger
+        self.source_kind = source_kind
+        self.source_dir = source_dir
+        self.source_vc = source_vc
+        #: Direction the data packet enters the current driver from.
+        self.entry_dir: Optional[Direction] = None
+
+
+class ControlNetwork:
+    """Reservation engine shared by all Mesh+PRA routers."""
+
+    def __init__(self, network: "PraNetwork"):
+        self.network = network
+        self.params = network.params.pra
+        self.stats = network.stats
+        #: Multi-drop media and injection-latch claims:
+        #: (node, direction-or-"inject", cycle) -> claimed.
+        self._media: Dict[Tuple[int, object, int], bool] = {}
+        self._last_purge = 0
+
+    # -- injection ----------------------------------------------------------
+
+    def inject(
+        self,
+        packet: Packet,
+        source_node: int,
+        start_slot: int,
+        trigger: str,
+        source_kind: str,
+        source_dir: Direction,
+        source_vc: int,
+    ) -> Optional[ControlRun]:
+        """Place a control packet in the local latch, if free.
+
+        ``start_slot`` is the cycle the data packet's head flit will
+        traverse the source router's output port.  Returns the run, or
+        None when the injection was dropped (latch busy or lag window
+        unusable).
+        """
+        now = self.network.cycle
+        process_at = now + 1
+        lag = start_slot - process_at
+        if lag < 1:
+            return None  # nothing left to pre-allocate
+        lag = min(lag, self.params.max_lag)
+        if not self._claim(source_node, "inject", process_at):
+            # The local latch is busy: the packet never enters the
+            # control network (it is not counted as injected).
+            self.stats.control_injection_conflicts += 1
+            return None
+        route = xy_route(self.network.topology, source_node, packet.dst)
+        run = ControlRun(
+            packet,
+            route,
+            start_slot,
+            lag,
+            trigger,
+            source_kind,
+            source_dir,
+            source_vc,
+        )
+        packet.pra_pending = True
+        self.stats.control_packets_injected += 1
+        self.network.schedule_call(process_at, self._process, run)
+        return run
+
+    # -- per-segment processing -------------------------------------------
+
+    def _process(self, run: ControlRun) -> None:
+        now = self.network.cycle
+        if run.plan.cancelled:
+            # The data packet missed its window and the plan was torn
+            # down while this control packet was still in flight; any
+            # further reservation would leak claims.  Drop.
+            self._record_drop(max(run.lag, 0), DROP_RESOURCE_BUSY)
+            return
+        node, direction = run.route[run.pos]
+        if direction is Direction.LOCAL:
+            self._reserve_ejection(run, node, now)
+            return
+        hops = self._step_hops(run, direction)
+        if not self._reserve_step(run, node, direction, hops, now):
+            self._finish(run, DROP_RESOURCE_BUSY)
+            return
+        run.pos += hops
+        run.entry_dir = direction.opposite
+        run.next_slot += 1
+        run.lag -= 1
+        if run.lag <= 0:
+            self._finish(run, DROP_LAG_ZERO)
+            return
+        # Transmit over the next multi-drop segment: the receivers' input
+        # latches are claimed; on conflict the packet is dropped there.
+        next_time = now + SEGMENT_CYCLES
+        next_node = run.route[run.pos][0]
+        claims_ok = self._claim(next_node, direction, next_time)
+        if hops == 2:
+            via_node = run.route[run.pos - 1][0]
+            claims_ok = claims_ok and self._claim(via_node, direction, next_time)
+        if not claims_ok:
+            self._finish(run, DROP_CONTROL_CONFLICT)
+            return
+        self.network.schedule_call(next_time, self._process, run)
+
+    def _step_hops(self, run: ControlRun, direction: Direction) -> int:
+        """2 hops when the route continues straight past the next router
+        (turns are not allowed within a multi-drop segment)."""
+        nxt = run.pos + 1
+        if nxt < len(run.route) and run.route[nxt][1] is direction:
+            return 2
+        return 1
+
+    # -- reservation attempts (all-or-nothing per step) -----------------------
+
+    def _reserve_step(
+        self,
+        run: ControlRun,
+        node: int,
+        direction: Direction,
+        hops: int,
+        now: int,
+    ) -> bool:
+        routers = self.network.routers
+        driver: "PraRouter" = routers[node]
+        size = run.packet.size
+        slot = run.next_slot
+        driver_port = driver.output_ports[direction]
+        src_kind, src_dir, src_vc = self._step_source(run)
+
+        # 1. Driver output-port timeslots.  A port currently held by a
+        # normally allocated packet is still reservable: the PRA arbiter
+        # preempts the hold at the reserved slots (the held transmission
+        # skips those cycles), and buffer interleaving is impossible
+        # because landings claim their VC at reservation time.
+        table = driver_port.reservations
+        if not table.within_horizon(now, slot, size):
+            return False
+        if not table.window_free(slot, size):
+            return False
+        # 2. Driver crossbar input.
+        if not driver.input_window_free(src_dir, slot, size):
+            return False
+        # 3. Bypassed router (2-hop steps).
+        via_router = None
+        via_port = None
+        if hops == 2:
+            via_node = run.route[run.pos + 1][0]
+            via_router = routers[via_node]
+            via_port = via_router.output_ports[direction]
+            if not via_port.reservations.within_horizon(now, slot, size):
+                return False
+            if not via_port.reservations.window_free(slot, size):
+                return False
+            if not via_router.input_window_free(direction.opposite, slot, size):
+                return False
+        # 4. Landing buffer: full-packet space in the standard VC.
+        landing_port = via_port if hops == 2 else driver_port
+        landing_node = run.route[run.pos + hops][0]
+        landing_router = routers[landing_node]
+        vc_index = run.packet.vc_index
+        landing_vc = landing_port.downstream_vc(vc_index)
+        if not landing_vc.can_accept_packet(run.packet):
+            return False
+        if landing_port.credits[vc_index] < size:
+            return False
+        # 5. ACK conversion: the previous landing (this driver) becomes a
+        # latch instead of a buffered stop — the latch must be free.
+        # Flit i lands in the latch at the end of slot - 1 + i.
+        if run.pos > 0 and not driver.latch_window_free(src_dir, slot - 1, size):
+            return False
+        # 6. LLC-triggered runs stream the response out of the source
+        # NI: its local VC and injection credits must be claimable.
+        if run.pos == 0 and run.trigger == "llc":
+            if not self._step0_source_claimable(run, node):
+                return False
+
+        # --- commit ---
+        if run.pos > 0:
+            self._convert_previous_landing(run, driver, src_dir, slot, size)
+        else:
+            self._claim_step0_source(run, driver, now)
+        step = PlanStep(
+            driver_node=node,
+            out_dir=direction,
+            slot=slot,
+            hops=hops,
+            source_kind=src_kind,
+            source_dir=src_dir,
+            source_vc=src_vc,
+            via_node=(run.route[run.pos + 1][0] if hops == 2 else None),
+            landing_node=landing_node,
+            landing_kind=LAND_VC,
+            landing_entry=direction.opposite,
+        )
+        self._append_step(run, step)
+        for i in range(size):
+            table.reserve(
+                slot + i, ReservationEntry(run.plan, step, i, is_driver=True)
+            )
+            driver.claim_input(src_dir, slot + i, run.plan)
+            if via_port is not None:
+                via_port.reservations.reserve(
+                    slot + i,
+                    ReservationEntry(run.plan, step, i, is_driver=False),
+                )
+                via_router.claim_input(direction.opposite, slot + i, run.plan)
+        run.plan.claim_landing_vc(landing_port, vc_index)
+        return True
+
+    def _reserve_ejection(self, run: ControlRun, node: int, now: int) -> None:
+        """Final step: pre-allocate the destination router's local port."""
+        driver: "PraRouter" = self.network.routers[node]
+        port = driver.output_ports[Direction.LOCAL]
+        size = run.packet.size
+        slot = run.next_slot
+        src_kind, src_dir, src_vc = self._step_source(run)
+        ok = (
+            port.reservations.within_horizon(now, slot, size)
+            and port.reservations.window_free(slot, size)
+            and driver.input_window_free(src_dir, slot, size)
+            and (
+                run.pos == 0
+                or driver.latch_window_free(src_dir, slot - 1, size)
+            )
+            and (
+                run.pos > 0
+                or run.trigger != "llc"
+                or self._step0_source_claimable(run, node)
+            )
+        )
+        if not ok:
+            self._finish(run, DROP_RESOURCE_BUSY)
+            return
+        if run.pos > 0:
+            self._convert_previous_landing(run, driver, src_dir, slot, size)
+        else:
+            self._claim_step0_source(run, driver, now)
+        step = PlanStep(
+            driver_node=node,
+            out_dir=Direction.LOCAL,
+            slot=slot,
+            hops=1,
+            source_kind=src_kind,
+            source_dir=src_dir,
+            source_vc=src_vc,
+            landing_node=node,
+            landing_kind=LAND_NI,
+        )
+        self._append_step(run, step)
+        for i in range(size):
+            port.reservations.reserve(
+                slot + i, ReservationEntry(run.plan, step, i, is_driver=True)
+            )
+            driver.claim_input(src_dir, slot + i, run.plan)
+        run.lag -= 1
+        self._finish(run, DROP_REACHED_DESTINATION)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _step_source(self, run: ControlRun) -> Tuple[str, Direction, int]:
+        if run.pos == 0:
+            return run.source_kind, run.source_dir, run.source_vc
+        return SRC_LATCH, run.entry_dir, 0
+
+    def _convert_previous_landing(
+        self, run, driver: "PraRouter", entry_dir: Direction, slot: int,
+        size: int,
+    ) -> None:
+        """Apply the ACK: the flit will pass through this router's latch
+        instead of stopping in the claimed standard VC."""
+        prev = run.plan.steps[-1]
+        run.plan.release_landing_vc()
+        prev.landing_kind = LAND_LATCH
+        for i in range(size):
+            driver.claim_latch(entry_dir, slot - 1 + i, run.plan)
+
+    def _step0_source_claimable(self, run: ControlRun, node: int) -> bool:
+        """The announced response will stream through the source NI's
+        local VC.  The VC is claimable when it is free, or when its
+        current owner is itself a pinned, planned injection whose drain
+        schedule is deterministic (pin windows never overlap, and planned
+        packets leave the VC at their reserved slots) — then ownership is
+        chained to hand over the instant the owner's tail departs.  The
+        NI is the only writer into this VC and injections charge credits
+        normally, so no buffer-space claim is needed."""
+        ni = self.network.interfaces[node]
+        vc = ni.port.downstream_vc(run.packet.vc_index)
+        if vc.can_accept_packet(run.packet):
+            return True
+        owner = vc.allocated_to
+        if owner is None or vc.next_claim is not None:
+            return False
+        owner_plan = owner.pra_plan
+        return (
+            owner_plan is not None
+            and owner_plan.injection_claim
+            and not owner_plan.cancelled
+        )
+
+    def _claim_step0_source(self, run, driver: "PraRouter", now: int) -> None:
+        """Take (or chain) ownership of the source NI's local VC and pin
+        the injection slot."""
+        if run.trigger != "llc":
+            return
+        ni = self.network.interfaces[driver.node]
+        vc = ni.port.downstream_vc(run.packet.vc_index)
+        if vc.allocated_to is None and vc.is_empty:
+            vc.allocated_to = run.packet
+        else:
+            assert vc.next_claim is None
+            vc.next_claim = run.packet
+        run.plan.injection_claim = True
+        run.plan.source_interface = ni
+        ni.pin(run.packet, run.plan)
+
+    def _claim(self, node: int, key, cycle: int) -> bool:
+        media_key = (node, key, cycle)
+        if media_key in self._media:
+            return False
+        self._media[media_key] = True
+        return True
+
+    def _append_step(self, run: ControlRun, step: PlanStep) -> None:
+        """Commit a step; the packet adopts the plan at its first step
+        (the NI may need the plan before the run terminates)."""
+        first = not run.plan.steps
+        run.plan.steps.append(step)
+        if first:
+            run.packet.pra_plan = run.plan
+            self.stats.pra_planned_packets += 1
+
+    def _finish(self, run: ControlRun, reason: str) -> None:
+        """The control packet is dropped (every control packet ends in a
+        drop); record Figure 7's lag-at-drop and settle the plan."""
+        lag = max(run.lag, 0)
+        self._record_drop(lag, reason)
+        if not run.plan.steps:
+            run.plan.cancel()
+            run.packet.pra_pending = False
+
+    def _record_drop(self, lag: int, reason: str) -> None:
+        self.stats.control_lag_at_drop[lag] += 1
+        self.stats.control_drop_reasons[reason] += 1
+
+    def purge(self, now: int) -> None:
+        """Drop stale media claims (called periodically)."""
+        if now - self._last_purge < 64:
+            return
+        self._last_purge = now
+        stale = [k for k in self._media if k[2] < now]
+        for key in stale:
+            del self._media[key]

@@ -1,0 +1,112 @@
+"""Per-output-port reservation tables (the paper's bit vectors).
+
+Figure 4 of the paper attaches to every output port a set of bit vectors
+holding, for several future timeslots, whether the slot is proactively
+allocated (*Valid*), which input port and VC the packet comes from
+(*Input Select*, *Local VC Select*), and which downstream VC it goes to
+(*Downstream VC Select*), shifting left one slot per cycle.
+
+We model the same state as a small absolute-cycle-keyed table with a
+bounded horizon.  Entries reference the :class:`~repro.core.plan.PraPlan`
+they belong to, so a cancelled plan voids all its entries lazily (the
+hardware equivalent: the valid bit is cleared when the expected flit
+does not show up, freeing the slot for the local arbiter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.plan import PlanStep, PraPlan
+from repro.params import MessageClass
+
+
+@dataclass
+class ReservationEntry:
+    """One timeslot's allocation on one output port."""
+
+    plan: PraPlan
+    step: PlanStep
+    #: Index of the packet flit expected in this slot.
+    flit_index: int
+    #: True at the router that reads the flit and drives the (multi-hop)
+    #: traversal; False at a bypassed router, whose entry only pins its
+    #: crossbar and output link for the slot.
+    is_driver: bool
+
+    @property
+    def live(self) -> bool:
+        return not self.plan.cancelled
+
+
+class ReservationTable:
+    """Future-timeslot allocations of a single output port."""
+
+    def __init__(self, horizon: int):
+        self.horizon = horizon
+        self._slots: Dict[int, ReservationEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    # -- queries ------------------------------------------------------------
+
+    def entry_at(self, slot: int) -> Optional[ReservationEntry]:
+        """Live entry at ``slot`` (purging a cancelled one)."""
+        entry = self._slots.get(slot)
+        if entry is None:
+            return None
+        if not entry.live:
+            del self._slots[slot]
+            return None
+        return entry
+
+    def is_free(self, slot: int) -> bool:
+        return self.entry_at(slot) is None
+
+    def window_free(self, first_slot: int, count: int) -> bool:
+        """True when ``count`` consecutive slots are unallocated."""
+        return all(self.is_free(first_slot + i) for i in range(count))
+
+    def within_horizon(self, now: int, first_slot: int, count: int) -> bool:
+        return first_slot + count - 1 <= now + self.horizon
+
+    def has_pending(self, now: int) -> bool:
+        """Any live allocation at or after ``now``?"""
+        return any(
+            slot >= now and entry.live
+            for slot, entry in list(self._slots.items())
+        )
+
+    def has_pending_multiflit(self, now: int, msg_class: MessageClass) -> bool:
+        """The paper's per-class multi-flit interleaving flag: true when
+        a multi-flit packet of ``msg_class`` holds future slots here."""
+        for slot, entry in list(self._slots.items()):
+            if slot < now or not entry.live:
+                continue
+            packet = entry.plan.packet
+            if packet.is_multi_flit and packet.msg_class is msg_class:
+                return True
+        return False
+
+    # -- updates -------------------------------------------------------------
+
+    def reserve(self, slot: int, entry: ReservationEntry) -> None:
+        if slot in self._slots and self._slots[slot].live:
+            raise RuntimeError("double-booked reservation slot")
+        self._slots[slot] = entry
+        entry.plan.table_entries.append((self, slot))
+
+    def pop(self, slot: int) -> Optional[ReservationEntry]:
+        """Remove and return the live entry for ``slot``, if any."""
+        entry = self.entry_at(slot)
+        if entry is not None:
+            del self._slots[slot]
+        return entry
+
+    def purge_before(self, now: int) -> None:
+        """Drop stale slots (shift-left of the bit vectors)."""
+        stale = [slot for slot in self._slots if slot < now]
+        for slot in stale:
+            del self._slots[slot]

@@ -1,0 +1,44 @@
+"""Experiment harness: one entry point per table/figure in the paper.
+
+See DESIGN.md §4 for the experiment index.  Every figure function
+returns plain data structures (dicts keyed by workload/organization) and
+can render itself as a paper-style text table via
+:mod:`repro.harness.reporting`.
+
+Scale control: simulations are expensive in a pure-Python cycle
+simulator, so the harness has three presets (``smoke``, ``default``,
+``full``) selectable with the ``REPRO_SCALE`` environment variable.
+Results at any scale reproduce the paper's *shape*; ``full`` tightens
+the confidence intervals.
+"""
+
+from repro.harness.runner import EvaluationScale, get_scale, evaluation_grid
+from repro.harness.figures import (
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    power_analysis,
+    section5b_stats,
+    table1,
+    zero_load_table,
+)
+from repro.harness.reporting import format_table, render_figure
+
+__all__ = [
+    "EvaluationScale",
+    "get_scale",
+    "evaluation_grid",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "power_analysis",
+    "section5b_stats",
+    "table1",
+    "zero_load_table",
+    "format_table",
+    "render_figure",
+]

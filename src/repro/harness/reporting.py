@@ -1,0 +1,66 @@
+"""Plain-text rendering of the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table, suitable for terminals and EXPERIMENTS.md."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_figure(result: Dict) -> str:
+    """Render a figure-function result (they all share the layout:
+    {'title': ..., 'headers': [...], 'rows': [[...], ...]})."""
+    return format_table(result["headers"], result["rows"], result["title"])
+
+
+def render_bars(result: Dict, width: int = 40) -> str:
+    """ASCII bar chart of a figure result's numeric columns.
+
+    Each row becomes a group of labeled bars scaled to the result's
+    maximum value — a terminal stand-in for the paper's bar figures.
+    """
+    headers = result["headers"]
+    rows = result["rows"]
+    numeric_cols = [
+        i for i in range(1, len(headers))
+        if all(isinstance(r[i], (int, float)) for r in rows)
+    ]
+    if not numeric_cols:
+        return render_figure(result)
+    peak = max(float(r[i]) for r in rows for i in numeric_cols) or 1.0
+    label_w = max(len(str(h)) for h in headers) + 2
+    lines = [result["title"]]
+    for row in rows:
+        lines.append(str(row[0]))
+        for i in numeric_cols:
+            value = float(row[i])
+            bar = "#" * max(0, round(width * value / peak))
+            lines.append(f"  {str(headers[i]).ljust(label_w)}{bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Shared evaluation machinery: scales and the cached simulation grid.
+
+Every performance figure (2, 6, 7, 9, the Section V-B statistics, and
+the power analysis) derives from one grid of full-system simulations:
+{workload} x {NoC organization}.  The grid is computed once per scale
+and cached for the lifetime of the process, so running all benchmarks
+costs one sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.params import NocKind
+from repro.perf.system import PerfSample, simulate
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+#: All four organizations, in the paper's presentation order.
+ALL_KINDS = (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA, NocKind.IDEAL)
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Simulation lengths for one quality preset."""
+
+    name: str
+    warmup: int
+    measure: int
+    num_seeds: int
+
+
+_SCALES = {
+    "smoke": EvaluationScale("smoke", warmup=300, measure=1500, num_seeds=1),
+    "default": EvaluationScale("default", warmup=1000, measure=5000,
+                               num_seeds=1),
+    "full": EvaluationScale("full", warmup=2000, measure=10000, num_seeds=3),
+}
+
+
+def get_scale(name: Optional[str] = None) -> EvaluationScale:
+    """Resolve a scale by name or the ``REPRO_SCALE`` env variable."""
+    name = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+GridKey = Tuple[str, NocKind]
+_grid_cache: Dict[Tuple[str, str, Tuple[NocKind, ...]], Dict[GridKey, PerfSample]] = {}
+
+
+def _simulate_cell(cell: Tuple[str, NocKind, int, int, int]) -> PerfSample:
+    """Worker entry point (top-level so it pickles for multiprocessing)."""
+    workload, kind, warmup, measure, seed = cell
+    return simulate(workload, kind, warmup=warmup, measure=measure, seed=seed)
+
+
+def _num_jobs() -> int:
+    """Worker-process count from REPRO_JOBS (1 = in-process, default)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def evaluation_grid(
+    workloads: Iterable[str] = WORKLOAD_NAMES,
+    kinds: Iterable[NocKind] = ALL_KINDS,
+    scale: Optional[EvaluationScale] = None,
+) -> Dict[GridKey, PerfSample]:
+    """Run (or fetch) the {workload} x {organization} simulation grid.
+
+    Cells are independent, so with ``REPRO_JOBS > 1`` they run in a
+    multiprocessing pool.  Multi-seed scales merge per-seed samples by
+    summing instructions and cycles into one sample per cell.
+    """
+    scale = scale or get_scale()
+    workloads = tuple(workloads)
+    kinds = tuple(kinds)
+    cache_key = (scale.name, workloads, kinds)
+    if cache_key in _grid_cache:
+        return _grid_cache[cache_key]
+    cells = [
+        (workload, kind, scale.warmup, scale.measure, seed + 1)
+        for workload in workloads
+        for kind in kinds
+        for seed in range(scale.num_seeds)
+    ]
+    jobs = _num_jobs()
+    if jobs > 1 and len(cells) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(cells))) as pool:
+            results = pool.map(_simulate_cell, cells)
+    else:
+        results = [_simulate_cell(cell) for cell in cells]
+    by_key: Dict[GridKey, list] = {}
+    for (workload, kind, *_), sample in zip(cells, results):
+        by_key.setdefault((workload, kind), []).append(sample)
+    grid = {key: _merge(samples) for key, samples in by_key.items()}
+    _grid_cache[cache_key] = grid
+    return grid
+
+
+def _merge(samples) -> PerfSample:
+    if len(samples) == 1:
+        return samples[0]
+    first = samples[0]
+    total_pkts = sum(s.packets for s in samples)
+    lag: Dict[int, float] = {}
+    for s in samples:
+        for k, v in s.lag_distribution.items():
+            lag[k] = lag.get(k, 0.0) + v / len(samples)
+    return PerfSample(
+        workload=first.workload,
+        noc_kind=first.noc_kind,
+        instructions=sum(s.instructions for s in samples),
+        cycles=sum(s.cycles for s in samples),
+        packets=total_pkts,
+        avg_network_latency=sum(
+            s.avg_network_latency * s.packets for s in samples
+        ) / max(1, total_pkts),
+        avg_transaction_latency=sum(
+            s.avg_transaction_latency for s in samples
+        ) / len(samples),
+        control_packets=sum(s.control_packets for s in samples),
+        control_per_data=(
+            sum(s.control_packets for s in samples) / max(1, total_pkts)
+        ),
+        lag_distribution=lag,
+        pra_blocked_fraction=sum(
+            s.pra_blocked_fraction for s in samples
+        ) / len(samples),
+        flits_delivered=sum(s.flits_delivered for s in samples),
+        total_hops=sum(s.total_hops for s in samples),
+    )
+
+
+def clear_grid_cache() -> None:
+    """Forget cached grids (tests use this for isolation)."""
+    _grid_cache.clear()

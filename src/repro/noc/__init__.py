@@ -1,0 +1,39 @@
+"""Cycle-accurate network-on-chip substrate.
+
+This subpackage is the reproduction's analog of BookSim 2.0: a flit-level
+wormhole network simulator with virtual channels, credit-based flow
+control, dimension-ordered routing, and per-cycle router pipelines.  The
+three realistic organizations share this substrate:
+
+* :mod:`repro.noc.mesh` — the baseline 1-stage speculative mesh router
+  (two cycles per hop at zero load),
+* :mod:`repro.noc.smart` — the SMART single-cycle multi-hop network
+  (three cycles per hop at zero load, HPC_max = 2),
+* :mod:`repro.core.pra_network` — Mesh+PRA, built on the mesh router with
+  proactive resource allocation (lives in :mod:`repro.core`).
+
+The hypothetical zero-router-delay network is :mod:`repro.noc.ideal`.
+"""
+
+from repro.noc.flit import Flit, FlitType
+from repro.noc.packet import Packet
+from repro.noc.topology import Direction, MeshTopology
+from repro.noc.routing import xy_route, xy_next_direction
+from repro.noc.stats import NetworkStats
+from repro.noc.network import Network, build_network
+from repro.noc.ring import RingNetwork, build_ring
+
+__all__ = [
+    "RingNetwork",
+    "build_ring",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "Direction",
+    "MeshTopology",
+    "xy_route",
+    "xy_next_direction",
+    "NetworkStats",
+    "Network",
+    "build_network",
+]

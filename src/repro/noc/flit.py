@@ -1,0 +1,57 @@
+"""Flits: the unit of link bandwidth and buffering.
+
+A packet of ``size`` flits is decomposed into one head flit, ``size - 2``
+body flits, and one tail flit (a single-flit packet's flit is both head
+and tail).  Flits carry a reference to their packet; routing state lives
+on the packet.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.packet import Packet
+
+
+class FlitType(Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"  # single-flit packet
+
+
+class Flit:
+    """One flit of a packet.
+
+    ``index`` is the flit's position within the packet (0 = head).
+    """
+
+    __slots__ = ("packet", "index", "kind")
+
+    def __init__(self, packet: "Packet", index: int):
+        size = packet.size
+        if not (0 <= index < size):
+            raise ValueError(f"flit index {index} outside packet of {size}")
+        self.packet = packet
+        self.index = index
+        if size == 1:
+            self.kind = FlitType.HEAD_TAIL
+        elif index == 0:
+            self.kind = FlitType.HEAD
+        elif index == size - 1:
+            self.kind = FlitType.TAIL
+        else:
+            self.kind = FlitType.BODY
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+    def __repr__(self) -> str:
+        return f"Flit(pkt={self.packet.pid}, idx={self.index}, {self.kind.value})"

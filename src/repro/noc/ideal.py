@@ -1,0 +1,121 @@
+"""The ideal network: zero router delay, wire delay and contention only.
+
+The paper's upper bound is "a hypothetical network-on-chip with router
+delay of zero cycles.  For the ideal network-on-chip, only wire delays
+are considered.  A header flit can pass over up to two hops in a single
+cycle if the required crossbars and links are free.  Body flits follow
+the header flit in subsequent cycles.  While router delay is zero,
+packets may get blocked in a router due to contention."
+
+We model this at packet granularity: every unidirectional link keeps a
+busy-until calendar; a header claims the next one or two links of its XY
+route for the packet's flit window ``[now, now + size)`` and advances
+accordingly.  Blocked packets wait at their current node in FIFO order.
+Buffering while blocked is unbounded — a deliberate idealization (the
+network is hypothetical; this only strengthens the upper bound the paper
+normalizes against).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.routing import xy_next_direction
+from repro.noc.topology import Direction
+from repro.params import NocParams
+
+
+class IdealNetwork(Network):
+    """Packet-level zero-router-delay network with link contention."""
+
+    def __init__(self, params: NocParams):
+        super().__init__(params)
+        self.hops_per_cycle = params.ideal_hops_per_cycle
+        #: busy-until (exclusive) per unidirectional link.
+        self._link_free_at: Dict[Tuple[int, Direction], int] = {}
+        #: Waiting packets per node, FIFO.
+        self._waiting: List[Deque[Packet]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        #: (position, packet) arrivals becoming visible next cycle.
+        self._arrivals: Dict[int, List[Tuple[int, Packet]]] = {}
+        #: Flit-link traversals, for utilization accounting.
+        self._link_flits = 0
+
+    # -- client API -----------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        self.stats.record_injection(packet)
+        # The NI-to-router wire costs one cycle, as in the other designs.
+        self._arrivals.setdefault(self.cycle + 1, []).append(
+            (packet.src, packet)
+        )
+
+    def step(self) -> None:
+        now = self.cycle
+        self._run_events(now)
+        for node, packet in self._arrivals.pop(now, ()):
+            if packet.injected is None:
+                packet.injected = now
+            if node == packet.dst:
+                self._finish(packet, now)
+            else:
+                self._waiting[node].append(packet)
+        self._advance_waiting(now)
+        self.cycle = now + 1
+
+    def _advance_waiting(self, now: int) -> None:
+        for node in range(self.topology.num_nodes):
+            queue = self._waiting[node]
+            if not queue:
+                continue
+            remaining: Deque[Packet] = deque()
+            while queue:
+                packet = queue.popleft()
+                if not self._try_move(node, packet, now):
+                    remaining.append(packet)
+            self._waiting[node] = remaining
+
+    # -- movement ---------------------------------------------------------------
+
+    def _try_move(self, node: int, packet: Packet, now: int) -> bool:
+        """Claim up to ``hops_per_cycle`` links; move if at least one."""
+        window_end = now + packet.size
+        hops = 0
+        position = node
+        claimed: List[Tuple[int, Direction]] = []
+        while hops < self.hops_per_cycle and position != packet.dst:
+            direction = xy_next_direction(self.topology, position, packet.dst)
+            link = (position, direction)
+            if self._link_free_at.get(link, 0) > now:
+                break
+            claimed.append(link)
+            position = self.topology.neighbor(position, direction)
+            hops += 1
+        if hops == 0:
+            return False
+        for link in claimed:
+            self._link_free_at[link] = window_end
+        self._link_flits += hops * packet.size
+        packet.hops_taken += hops
+        self._arrivals.setdefault(now + 1, []).append((position, packet))
+        return True
+
+    def link_utilization(self) -> float:
+        if self.cycle == 0:
+            return 0.0
+        topo = self.topology
+        links = 2 * (topo.width * (topo.height - 1)
+                     + topo.height * (topo.width - 1))
+        return self._link_flits / (links * self.cycle)
+
+    def _finish(self, packet: Packet, head_arrival: int) -> None:
+        """Head reached the destination; the tail lands ``size - 1``
+        cycles later and ejection to the NI takes one more cycle."""
+        head_time = head_arrival + 1
+        self.schedule_call(head_time, self._head_arrived, packet, head_time)
+        eject_time = head_arrival + (packet.size - 1) + 1
+        self.schedule_call(eject_time, self._deliver, packet, eject_time)

@@ -1,0 +1,119 @@
+"""Network interfaces: per-tile injection and ejection.
+
+The NI sits between a tile (core + LLC slice) and its router.  Injection
+is packet-granular over the single local port, arbitrated round-robin
+across the three message-class queues.  Ejection reassembles flits and
+fires the network's delivery callback on tail arrival.
+
+The Mesh+PRA interface (:class:`repro.core.pra_network.PraInterface`)
+extends this with the LLC-hit control-packet trigger and deterministic
+injection pinning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.ports import OutputPort
+from repro.noc.topology import Direction
+from repro.params import MessageClass, NUM_MESSAGE_CLASSES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.noc.router import BaseRouter
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint of one tile."""
+
+    def __init__(self, node: int, network: "Network", router: "BaseRouter"):
+        self.node = node
+        self.network = network
+        self.router = router
+        self.queues: List[Deque[Packet]] = [
+            deque() for _ in range(NUM_MESSAGE_CLASSES)
+        ]
+        params = network.params.router
+        self.port = OutputPort(
+            router=None,
+            direction=Direction.LOCAL,
+            network=network,
+            num_vcs=params.vcs_per_port,
+            vc_depth=params.flits_per_vc,
+        )
+        self.port.connect(router, Direction.LOCAL)
+        self._rr = 0
+        self._holder_next_flit = 0
+
+    # -- injection ---------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: int) -> None:
+        """Accept a packet from the tile for injection."""
+        self.queues[packet.vc_index].append(packet)
+        self.network.stats.record_injection(packet)
+
+    def queued_packets(self, msg_class: MessageClass) -> int:
+        return len(self.queues[msg_class.value])
+
+    def step(self, now: int) -> None:
+        port = self.port
+        if port.is_held:
+            self._continue_holder(now)
+            return
+        self._arbitrate(now)
+
+    def _continue_holder(self, now: int) -> None:
+        port = self.port
+        packet = port.held_by
+        assert packet is not None
+        if not port.has_credit_for(packet.vc_index):
+            return
+        flit = packet.flits[self._holder_next_flit]
+        self._holder_next_flit += 1
+        port.send(flit, now)
+        if flit.is_tail:
+            self.queues[packet.vc_index].popleft()
+            port.release()
+
+    def _arbitrate(self, now: int) -> None:
+        port = self.port
+        for offset in range(NUM_MESSAGE_CLASSES):
+            idx = (self._rr + offset) % NUM_MESSAGE_CLASSES
+            queue = self.queues[idx]
+            if not queue:
+                continue
+            packet = queue[0]
+            if not self._may_inject(packet, now):
+                continue
+            if not port.can_allocate_vc(packet):
+                continue
+            self._rr = (idx + 1) % NUM_MESSAGE_CLASSES
+            self._start_injection(packet, now)
+            return
+
+    def _start_injection(self, packet: Packet, now: int) -> None:
+        port = self.port
+        downstream_vc = port.downstream_vc(packet.vc_index)
+        downstream_vc.allocated_to = packet
+        port.hold(packet, source_vc=None)
+        packet.injected = now
+        self._holder_next_flit = 0
+        self._continue_holder(now)
+
+    def _may_inject(self, packet: Packet, now: int) -> bool:
+        """Hook: the PRA interface defers packets pinned for later slots."""
+        return True
+
+    # -- ejection ------------------------------------------------------------
+
+    def eject_flit(self, flit: Flit, now: int) -> None:
+        if flit.is_head:
+            self.network._head_arrived(flit.packet, now)
+        if flit.is_tail:
+            self.network._deliver(flit.packet, now)
+
+    def __repr__(self) -> str:
+        return f"NetworkInterface(node={self.node})"

@@ -1,0 +1,45 @@
+"""The baseline mesh organization (Table I, "Mesh").
+
+An 8x8 grid of 1-stage speculative routers, 3 VCs per port (request,
+coherence, response), 5 flits per VC, 2 cycles per hop at zero load.
+"""
+
+from __future__ import annotations
+
+from repro.noc.interface import NetworkInterface
+from repro.noc.network import Network
+from repro.noc.router import MeshRouter
+from repro.noc.topology import CARDINALS, Direction
+from repro.params import NocParams
+
+
+class MeshNetwork(Network):
+    """Baseline mesh: wiring of routers and network interfaces."""
+
+    router_class = MeshRouter
+    interface_class = NetworkInterface
+
+    def __init__(self, params: NocParams):
+        super().__init__(params)
+        self.routers = [
+            self.router_class(node, self) for node in range(self.topology.num_nodes)
+        ]
+        self._wire_links()
+        self.interfaces = [
+            self.interface_class(node, self, self.routers[node])
+            for node in range(self.topology.num_nodes)
+        ]
+        self._wire_ejection()
+
+    def _wire_links(self) -> None:
+        for router in self.routers:
+            for direction in CARDINALS:
+                port = router.output_ports.get(direction)
+                if port is None:
+                    continue
+                neighbor = self.topology.neighbor(router.node, direction)
+                port.connect(self.routers[neighbor], direction.opposite)
+
+    def _wire_ejection(self) -> None:
+        for router, ni in zip(self.routers, self.interfaces):
+            router.output_ports[Direction.LOCAL].connect_sink(ni)

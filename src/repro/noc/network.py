@@ -1,0 +1,184 @@
+"""Network container: routers, interfaces, the clock, and the event bus.
+
+All cross-component effects (flit arrivals, credit returns, ejections,
+deferred calls) travel through time-stamped events executed at the start
+of their cycle, so the fixed router processing order can never leak
+same-cycle information between routers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.stats import NetworkStats
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+from repro.params import NocKind, NocParams
+
+#: Signature of the packet delivery callback: (packet, cycle).
+DeliveryHandler = Callable[[Packet, int], None]
+
+# Event kind tags (tuples are cheaper than closures on the hot path).
+_ARRIVAL = 0
+_EJECT = 1
+_CREDIT = 2
+_CALL = 3
+
+
+class Network:
+    """Base class for all four network organizations."""
+
+    def __init__(self, params: NocParams):
+        self.params = params
+        self.topology = MeshTopology(params.mesh_width, params.mesh_height)
+        self.cycle = 0
+        self.stats = NetworkStats()
+        self.routers: List = []
+        self.interfaces: List = []
+        self._events: Dict[int, list] = {}
+        self._delivery_handler: Optional[DeliveryHandler] = None
+        self._head_handler: Optional[DeliveryHandler] = None
+
+    # -- client API -------------------------------------------------------
+
+    def on_delivery(self, handler: DeliveryHandler) -> None:
+        """Register the callback invoked when a packet is delivered
+        (tail flit at the destination NI)."""
+        self._delivery_handler = handler
+
+    def on_head_arrival(self, handler: DeliveryHandler) -> None:
+        """Register the callback invoked when a packet's *head* flit
+        reaches the destination NI.  The tile layer uses this for
+        critical-word-first completion: the core restarts on the first
+        returning word while the rest of the block streams in."""
+        self._head_handler = handler
+
+    def send(self, packet: Packet) -> None:
+        """Hand a packet to its source network interface."""
+        self.interfaces[packet.src].enqueue(packet, self.cycle)
+
+    def announce(self, packet: Packet, ready_in: int) -> None:
+        """Advance notice that ``packet`` will be sent in ``ready_in``
+        cycles (the LLC-hit window).  Only Mesh+PRA uses this; every
+        other organization ignores it."""
+
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        now = self.cycle
+        self._run_events(now)
+        for ni in self.interfaces:
+            ni.step(now)
+        for router in self.routers:
+            router.step(now)
+        self._post_router_step(now)
+        self.cycle = now + 1
+
+    def _run_events(self, now: int) -> None:
+        events = self._events.pop(now, None)
+        if events:
+            for event in events:
+                kind = event[0]
+                if kind == _ARRIVAL:
+                    _, router, direction, vc_index, flit = event
+                    router.receive_flit(direction, vc_index, flit)
+                elif kind == _EJECT:
+                    _, ni, flit = event
+                    ni.eject_flit(flit, now)
+                elif kind == _CREDIT:
+                    _, port, vc_index = event
+                    port.return_credit(vc_index)
+                else:
+                    _, fn, args = event
+                    fn(*args)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Run until every injected packet has been delivered."""
+        deadline = self.cycle + max_cycles
+        while self.stats.in_flight > 0:
+            if self.cycle >= deadline:
+                raise RuntimeError(
+                    f"network failed to drain: {self.stats.in_flight} "
+                    f"packets in flight after {max_cycles} cycles"
+                )
+            self.step()
+
+    # -- measurement -------------------------------------------------------
+
+    def link_utilization(self) -> float:
+        """Average flits per link per cycle over the run so far
+        (router-to-router links only; 0.0 before any cycle runs)."""
+        if self.cycle == 0 or not self.routers:
+            return 0.0
+        from repro.noc.topology import CARDINALS
+
+        flits = 0
+        links = 0
+        for router in self.routers:
+            for direction in CARDINALS:
+                port = router.output_ports.get(direction)
+                if port is not None:
+                    flits += port.flits_sent
+                    links += 1
+        if links == 0:
+            return 0.0
+        return flits / (links * self.cycle)
+
+    # -- event scheduling (component API) ---------------------------------
+
+    def _push(self, time: int, event) -> None:
+        if time <= self.cycle:
+            raise ValueError("events must be scheduled in the future")
+        self._events.setdefault(time, []).append(event)
+
+    def schedule_arrival(self, time, router, direction, vc_index, flit) -> None:
+        self._push(time, (_ARRIVAL, router, direction, vc_index, flit))
+
+    def schedule_eject(self, time, ni, flit) -> None:
+        self._push(time, (_EJECT, ni, flit))
+
+    def schedule_credit(self, time, port, vc_index) -> None:
+        self._push(time, (_CREDIT, port, vc_index))
+
+    def schedule_call(self, time, fn, *args) -> None:
+        self._push(time, (_CALL, fn, args))
+
+    # -- hooks -------------------------------------------------------------
+
+    def _post_router_step(self, now: int) -> None:
+        """Subclass hook run after routers each cycle (control network)."""
+
+    def _deliver(self, packet: Packet, now: int) -> None:
+        packet.ejected = now
+        self.stats.record_ejection(packet)
+        if self._delivery_handler is not None:
+            self._delivery_handler(packet, now)
+
+    def _head_arrived(self, packet: Packet, now: int) -> None:
+        if self._head_handler is not None:
+            self._head_handler(packet, now)
+
+
+def build_network(params: NocParams) -> Network:
+    """Instantiate the organization selected by ``params.kind``."""
+    # Local imports avoid circular dependencies between organizations.
+    if params.kind is NocKind.MESH:
+        from repro.noc.mesh import MeshNetwork
+
+        return MeshNetwork(params)
+    if params.kind is NocKind.SMART:
+        from repro.noc.smart import SmartNetwork
+
+        return SmartNetwork(params)
+    if params.kind is NocKind.MESH_PRA:
+        from repro.core.pra_network import PraNetwork
+
+        return PraNetwork(params)
+    if params.kind is NocKind.IDEAL:
+        from repro.noc.ideal import IdealNetwork
+
+        return IdealNetwork(params)
+    raise ValueError(f"unknown network kind: {params.kind}")

@@ -1,0 +1,114 @@
+"""Packets: the unit of routing, allocation, and (for PRA) reservation.
+
+The paper's PRA pre-allocates resources for *whole packets* (not
+individual flits, unlike flit-reservation flow control) so that flits of
+a packet are never reordered on a single-cycle multi-hop path.  The
+packet object therefore carries the PRA plan produced by a successful
+control-packet run (see :mod:`repro.core.control_network`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.noc.flit import Flit
+from repro.params import MessageClass, PACKET_FLITS
+
+_pid_counter = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart packet numbering (test isolation helper)."""
+    global _pid_counter
+    _pid_counter = itertools.count()
+
+
+class Packet:
+    """A message traveling from ``src`` to ``dst``.
+
+    Timestamps (all in cycles):
+
+    * ``created`` — handed to the source network interface,
+    * ``injected`` — head flit entered the source router,
+    * ``ejected`` — tail flit delivered to the destination NI.
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "msg_class",
+        "size",
+        "flits",
+        "created",
+        "injected",
+        "ejected",
+        "payload",
+        "pra_plan",
+        "pra_pending",
+        "pra_blocked_cycles",
+        "hops_taken",
+        "ring_layer",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        msg_class: MessageClass,
+        size: Optional[int] = None,
+        created: int = 0,
+        payload: Any = None,
+    ):
+        if size is None:
+            size = PACKET_FLITS[msg_class]
+        if size < 1:
+            raise ValueError("packet size must be at least one flit")
+        self.pid = next(_pid_counter)
+        self.src = src
+        self.dst = dst
+        self.msg_class = msg_class
+        self.size = size
+        self.flits: List[Flit] = [Flit(self, i) for i in range(size)]
+        self.created = created
+        self.injected: Optional[int] = None
+        self.ejected: Optional[int] = None
+        self.payload = payload
+        #: Active pre-allocated path, set by the PRA control network.
+        self.pra_plan: Any = None
+        #: True while a control packet is in flight (or a plan is active)
+        #: for this packet; suppresses duplicate LSD injections.
+        self.pra_pending = False
+        #: Cycles this packet spent blocked behind resources that were
+        #: proactively allocated to *another* packet (Section V-B stat).
+        self.pra_blocked_cycles = 0
+        #: Link traversals of the head flit (for stats / energy).
+        self.hops_taken = 0
+        #: Dateline VC layer on ring interconnects (0 before crossing).
+        self.ring_layer = 0
+
+    @property
+    def is_multi_flit(self) -> bool:
+        return self.size > 1
+
+    @property
+    def vc_index(self) -> int:
+        """Message classes map one-to-one onto VC indices."""
+        return self.msg_class.value
+
+    def network_latency(self) -> Optional[int]:
+        if self.injected is None or self.ejected is None:
+            return None
+        return self.ejected - self.injected
+
+    def total_latency(self) -> Optional[int]:
+        if self.ejected is None:
+            return None
+        return self.ejected - self.created
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"{self.msg_class.name}, {self.size}f)"
+        )

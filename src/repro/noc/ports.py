@@ -1,0 +1,217 @@
+"""Output ports: credit tracking, VC allocation, and switch holding.
+
+An :class:`OutputPort` is the upstream end of a link.  It mirrors the
+state of the downstream input unit (free VCs, credit counts) exactly the
+way a hardware router's output unit does, and enforces the two
+invariants the rest of the simulator relies on:
+
+* **packet-granular switch allocation** — once a packet's head flit is
+  granted an output port, the port is held until the tail flit leaves.
+  This is what makes the end of a multi-flit transmission deterministic,
+  which the paper's Long Stall Detection unit exploits.
+* **credit discipline** — a flit is only sent when the downstream buffer
+  has space; PRA's proactive buffer reservations are claimed out of the
+  same credit pool (``reserved`` below), so normally allocated traffic
+  cannot consume proactively promised space.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.topology import Direction
+from repro.noc.vc import InputUnit, VirtualChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.router import BaseRouter
+    from repro.noc.network import Network
+
+
+class OutputPort:
+    """Upstream end of one unidirectional link (or the ejection port)."""
+
+    __slots__ = (
+        "router",
+        "direction",
+        "network",
+        "downstream_router",
+        "downstream_unit",
+        "ni_sink",
+        "credits",
+        "reserved",
+        "held_by",
+        "active_vc",
+        "held_dst_vc",
+        "holder_sent",
+        "flits_sent",
+        "link_hop_latency",
+    )
+
+    def __init__(
+        self,
+        router: Optional["BaseRouter"],
+        direction: Direction,
+        network: "Network",
+        num_vcs: int,
+        vc_depth: int,
+    ):
+        self.router = router
+        self.direction = direction
+        self.network = network
+        #: Downstream router and its input unit; None for the ejection
+        #: port (then ``ni_sink`` is set instead).
+        self.downstream_router: Optional["BaseRouter"] = None
+        self.downstream_unit: Optional[InputUnit] = None
+        self.ni_sink = None
+        self.credits: List[int] = [vc_depth] * num_vcs
+        #: Buffer space currently promised to proactively allocated
+        #: packets (PRA).  Claims are taken *out of* ``credits`` (so
+        #: normal traffic simply sees fewer credits); this counter only
+        #: tracks how much of the missing space is a PRA promise, which
+        #: the blocked-time statistic needs.
+        self.reserved: List[int] = [0] * num_vcs
+        self.held_by: Optional[Packet] = None
+        #: Source VC in this router that feeds the held packet.
+        self.active_vc: Optional[VirtualChannel] = None
+        #: Downstream VC index granted to the holder (usually the
+        #: packet's message class; ring datelines remap it).
+        self.held_dst_vc: Optional[int] = None
+        #: Flits of the holder already transmitted through this port.
+        self.holder_sent = 0
+        self.flits_sent = 0
+        #: Cycles from grant to downstream visibility (2 for the mesh:
+        #: one ST+LT cycle, then allocation-eligible the next cycle).
+        self.link_hop_latency = 2
+
+    # -- wiring ---------------------------------------------------------
+
+    def connect(self, downstream_router: "BaseRouter", entry: Direction) -> None:
+        """Attach this port to the downstream router's input unit."""
+        self.downstream_router = downstream_router
+        unit = downstream_router.input_units[entry]
+        self.downstream_unit = unit
+        unit.feeder_port = self
+
+    def connect_sink(self, ni_sink) -> None:
+        """Attach this port to a network interface (ejection)."""
+        self.ni_sink = ni_sink
+
+    @property
+    def is_ejection(self) -> bool:
+        return self.ni_sink is not None
+
+    # -- allocation checks ------------------------------------------------
+
+    def downstream_vc(self, vc_index: int) -> Optional[VirtualChannel]:
+        if self.downstream_unit is None:
+            return None
+        return self.downstream_unit.vcs[vc_index]
+
+    def usable_credits(self, vc_index: int) -> int:
+        """Credits visible to *normally* allocated traffic (PRA claims
+        have already been withdrawn from the pool)."""
+        return self.credits[vc_index]
+
+    # -- PRA buffer claims --------------------------------------------------
+
+    def claim_buffer(self, vc_index: int, count: int) -> None:
+        """Withdraw ``count`` credits as a proactive full-packet claim."""
+        if self.credits[vc_index] < count:
+            raise RuntimeError("claiming more buffer space than available")
+        self.credits[vc_index] -= count
+        self.reserved[vc_index] += count
+
+    def refund_buffer(self, vc_index: int, count: int) -> None:
+        """Return unused proactively claimed credits to the pool."""
+        self.credits[vc_index] += count
+        self.reserved[vc_index] -= count
+
+    def consume_claim(self, vc_index: int) -> None:
+        """A proactively delivered flit occupied its promised slot."""
+        self.reserved[vc_index] -= 1
+
+    def can_allocate_vc(self, packet: Packet,
+                        vc_index: Optional[int] = None) -> bool:
+        """VC allocation check for a normally routed head flit."""
+        if self.is_ejection:
+            return True
+        if vc_index is None:
+            vc_index = packet.vc_index
+        vc = self.downstream_vc(vc_index)
+        return (
+            vc is not None
+            and vc.can_accept_packet(packet)
+            and self.usable_credits(vc_index) >= 1
+        )
+
+    def has_credit_for(self, vc_index: int) -> bool:
+        return self.is_ejection or self.usable_credits(vc_index) >= 1
+
+    # -- switch state -----------------------------------------------------
+
+    @property
+    def is_held(self) -> bool:
+        return self.held_by is not None
+
+    def hold(self, packet: Packet, source_vc: VirtualChannel,
+             dst_vc: Optional[int] = None) -> None:
+        if self.held_by is not None:
+            raise RuntimeError("output port already held")
+        self.held_by = packet
+        self.active_vc = source_vc
+        self.held_dst_vc = dst_vc if dst_vc is not None else packet.vc_index
+        self.holder_sent = 0
+
+    def release(self) -> None:
+        self.held_by = None
+        self.active_vc = None
+        self.held_dst_vc = None
+        self.holder_sent = 0
+
+    def remaining_flits_of_holder(self) -> int:
+        """Flits of the holder not yet sent through this port.
+
+        Valid while the port is held; used by LSD to compute the
+        deterministic release time.
+        """
+        if self.held_by is None:
+            return 0
+        return self.held_by.size - self.holder_sent
+
+    # -- flit transmission ----------------------------------------------
+
+    def send(self, flit: Flit, now: int, charge_credit: bool = True,
+             vc_index: Optional[int] = None) -> None:
+        """Transmit one flit to the immediate downstream hop.
+
+        ``vc_index`` selects the downstream VC; it defaults to the
+        holder's granted VC (when held) or the packet's message class.
+        """
+        self.flits_sent += 1
+        if self.held_by is flit.packet:
+            self.holder_sent += 1
+            if vc_index is None:
+                vc_index = self.held_dst_vc
+        if self.is_ejection:
+            self.network.schedule_eject(now + 1, self.ni_sink, flit)
+            return
+        if vc_index is None:
+            vc_index = flit.packet.vc_index
+        if charge_credit:
+            if self.credits[vc_index] <= 0:
+                raise RuntimeError("credit underflow: flow control violated")
+            self.credits[vc_index] -= 1
+        if flit.is_head and self.router is not None:
+            flit.packet.hops_taken += 1
+        self.network.schedule_arrival(
+            now + self.link_hop_latency,
+            self.downstream_router,
+            self.downstream_unit.direction,
+            vc_index,
+            flit,
+        )
+
+    def return_credit(self, vc_index: int) -> None:
+        self.credits[vc_index] += 1

@@ -1,0 +1,236 @@
+"""Routers: the base pipeline and the baseline mesh router.
+
+The baseline mesh router (Table I) is a 1-stage speculative router: a
+head flit that arrived by the start of cycle *t* performs routing, VC
+allocation, and speculative crossbar allocation during *t*, then crosses
+the crossbar and link during *t+1*, becoming allocation-eligible at the
+next router at *t+2* — two cycles per hop at zero load.
+
+Switch allocation is packet-granular: once a head flit wins an output
+port, the port is held until the packet's tail is sent.  This keeps the
+flits of a multi-flit packet contiguous on every link, which (a) matches
+the paper's framing of in-network blocking ("the output port is busy
+forwarding a multi-flit packet") and (b) makes the release time of a
+blocked port deterministic whenever the downstream buffer can absorb the
+in-flight packet — the property the Long Stall Detection unit exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.ports import OutputPort
+from repro.noc.routing import xy_next_direction
+from repro.noc.topology import CARDINALS, Direction
+from repro.noc.vc import InputUnit, VirtualChannel
+
+#: Fixed port processing order inside a cycle.
+PORT_ORDER = (
+    Direction.LOCAL,
+    Direction.NORTH,
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.WEST,
+)
+
+#: Cycles from a flit's dequeue to the upstream credit increment
+#: (one cycle switch+link traversal, one cycle credit wire).
+CREDIT_DELAY = 2
+
+
+class BaseRouter:
+    """Shared structure of all router types: input units and ports."""
+
+    def __init__(self, node: int, network):
+        self.node = node
+        self.network = network
+        self.topology = network.topology
+        params = network.params.router
+        self.num_vcs = params.vcs_per_port
+        self.vc_depth = params.flits_per_vc
+        self.input_units: Dict[Direction, InputUnit] = {}
+        self.output_ports: Dict[Direction, OutputPort] = {}
+        #: Flits currently buffered in this router (early-exit counter).
+        self.active_flits = 0
+        self._rr: Dict[Direction, int] = {d: 0 for d in PORT_ORDER}
+
+        self.input_units[Direction.LOCAL] = InputUnit(
+            Direction.LOCAL, self.num_vcs, self.vc_depth
+        )
+        for direction in CARDINALS:
+            if self.topology.neighbor(node, direction) is not None:
+                self.input_units[direction] = InputUnit(
+                    direction, self.num_vcs, self.vc_depth
+                )
+                self.output_ports[direction] = self._make_output_port(direction)
+        # Ejection port toward the NI (wired by the network).
+        self.output_ports[Direction.LOCAL] = self._make_output_port(
+            Direction.LOCAL
+        )
+        self._unit_list: List[InputUnit] = list(self.input_units.values())
+
+    def _make_output_port(self, direction: Direction) -> OutputPort:
+        return OutputPort(
+            router=self,
+            direction=direction,
+            network=self.network,
+            num_vcs=self.num_vcs,
+            vc_depth=self.vc_depth,
+        )
+
+    # -- flit reception -----------------------------------------------------
+
+    def receive_flit(self, direction: Direction, vc_index: int, flit: Flit) -> None:
+        self.input_units[direction].receive(flit, vc_index)
+        self.active_flits += 1
+
+    def route_of(self, packet: Packet) -> Direction:
+        """Output direction the packet takes from this router."""
+        return xy_next_direction(self.topology, self.node, packet.dst)
+
+    # -- per-cycle processing -----------------------------------------------
+
+    def step(self, now: int) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _pop_and_send(
+        self, port: OutputPort, vc: VirtualChannel, now: int,
+        charge_credit: bool = True,
+    ) -> Flit:
+        """Dequeue the front flit of ``vc`` and transmit it on ``port``."""
+        flit = vc.pop()
+        self.active_flits -= 1
+        feeder = vc.unit.feeder_port
+        if feeder is not None:
+            self.network.schedule_credit(
+                now + CREDIT_DELAY, feeder, vc.index
+            )
+        port.send(flit, now, charge_credit=charge_credit)
+        return flit
+
+    def _collect_head_candidates(self) -> Dict[Direction, List[VirtualChannel]]:
+        """One pass over all input VCs: head flits grouped by the output
+        direction they request.  Built once per cycle and shared by all
+        output ports (and by LSD in the PRA router)."""
+        candidates: Dict[Direction, List[VirtualChannel]] = {}
+        for unit in self._unit_list:
+            for vc in unit.vcs:
+                flits = vc.flits
+                if not flits:
+                    continue
+                front = flits[0]
+                if not front.is_head:
+                    continue
+                direction = self.route_of(front.packet)
+                candidates.setdefault(direction, []).append(vc)
+        return candidates
+
+    def _head_candidates(
+        self, direction: Direction, used_inputs: Set[Direction]
+    ) -> List[VirtualChannel]:
+        """Input VCs whose front flit is a head routed to ``direction``."""
+        return [
+            vc
+            for vc in self._collect_head_candidates().get(direction, [])
+            if vc.unit.direction not in used_inputs
+        ]
+
+    def _round_robin_pick(
+        self, direction: Direction, candidates: List[VirtualChannel]
+    ) -> VirtualChannel:
+        pointer = self._rr[direction]
+        candidates.sort(key=lambda vc: (int(vc.unit.direction), vc.index))
+        choice = candidates[pointer % len(candidates)]
+        self._rr[direction] = pointer + 1
+        return choice
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(node={self.node})"
+
+
+class MeshRouter(BaseRouter):
+    """The baseline 1-stage speculative mesh router."""
+
+    def step(self, now: int) -> None:
+        if self.active_flits == 0:
+            return
+        used_inputs: Set[Direction] = set()
+        candidates = self._collect_head_candidates()
+        for direction in PORT_ORDER:
+            port = self.output_ports.get(direction)
+            if port is None:
+                continue
+            if port.is_held:
+                self._advance_held(port, now, used_inputs)
+            else:
+                self._try_grant(port, direction, now, used_inputs,
+                                candidates.get(direction, ()))
+
+    # -- switch traversal of an in-progress packet ---------------------------
+
+    def _advance_held(
+        self, port: OutputPort, now: int, used_inputs: Set[Direction]
+    ) -> None:
+        vc = port.active_vc
+        if vc is None:
+            return
+        front = vc.front()
+        if front is None or front.packet is not port.held_by:
+            return  # next flit still in flight from upstream
+        if vc.unit.direction in used_inputs:
+            return
+        if not port.has_credit_for(port.held_dst_vc):
+            return
+        used_inputs.add(vc.unit.direction)
+        flit = self._pop_and_send(port, vc, now)
+        if flit.is_tail:
+            port.release()
+
+    # -- head-flit allocation (RC + VA + speculative SA in one cycle) --------
+
+    def _try_grant(
+        self, port: OutputPort, direction: Direction, now: int,
+        used_inputs: Set[Direction],
+        candidates: Optional[List[VirtualChannel]] = None,
+    ) -> None:
+        if candidates is None:
+            candidates = self._head_candidates(direction, used_inputs)
+            eligible = [
+                vc for vc in candidates
+                if self._may_grant(port, vc.front().packet, now)
+            ]
+        else:
+            eligible = [
+                vc for vc in candidates
+                if vc.unit.direction not in used_inputs
+                and self._may_grant(port, vc.front().packet, now)
+            ]
+        if not eligible:
+            return
+        vc = self._round_robin_pick(direction, eligible)
+        packet = vc.front().packet
+        self._grant(port, vc, packet, now, used_inputs)
+
+    def _may_grant(self, port: OutputPort, packet: Packet, now: int) -> bool:
+        """VC-allocation check; the PRA router layers reservation rules."""
+        return port.can_allocate_vc(packet)
+
+    def _grant(
+        self,
+        port: OutputPort,
+        vc: VirtualChannel,
+        packet: Packet,
+        now: int,
+        used_inputs: Set[Direction],
+    ) -> None:
+        if not port.is_ejection:
+            port.downstream_vc(packet.vc_index).allocated_to = packet
+        port.hold(packet, source_vc=vc)
+        used_inputs.add(vc.unit.direction)
+        flit = self._pop_and_send(port, vc, now)
+        if flit.is_tail:
+            port.release()

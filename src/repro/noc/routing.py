@@ -1,0 +1,67 @@
+"""Dimension-ordered (XY) routing.
+
+XY routing is deadlock-free on a mesh and is what the paper's networks
+use; the control network additionally relies on the route being known at
+the source ("we know the whole path to the destination"), which XY
+provides.  Packets travel fully in X (east/west) first, then in Y.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.noc.topology import Direction, MeshTopology
+
+
+def xy_next_direction(topo: MeshTopology, node: int, dst: int) -> Direction:
+    """Output direction a packet at ``node`` takes toward ``dst``.
+
+    Returns ``Direction.LOCAL`` when the packet has arrived.
+    """
+    x, y = topo.coords(node)
+    dx, dy = topo.coords(dst)
+    if x < dx:
+        return Direction.EAST
+    if x > dx:
+        return Direction.WEST
+    if y < dy:
+        return Direction.SOUTH
+    if y > dy:
+        return Direction.NORTH
+    return Direction.LOCAL
+
+
+def xy_route(topo: MeshTopology, src: int, dst: int) -> List[Tuple[int, Direction]]:
+    """The full XY path as ``[(node, out_direction), ...]``.
+
+    The final element is ``(dst, Direction.LOCAL)`` (the ejection hop).
+    This is the information a PRA control packet carries as its
+    look-ahead routing field.
+    """
+    path: List[Tuple[int, Direction]] = []
+    node = src
+    guard = topo.num_nodes + 1
+    for _ in range(guard):
+        direction = xy_next_direction(topo, node, dst)
+        path.append((node, direction))
+        if direction is Direction.LOCAL:
+            return path
+        nxt = topo.neighbor(node, direction)
+        if nxt is None:  # pragma: no cover - XY never walks off the mesh
+            raise RuntimeError("XY route left the mesh")
+        node = nxt
+    raise RuntimeError("XY route failed to terminate")  # pragma: no cover
+
+
+def turn_node(topo: MeshTopology, src: int, dst: int) -> int:
+    """The node where the XY route turns from X to Y travel.
+
+    Equals ``dst`` for routes with no Y component and ``src`` for routes
+    with no X component.  PRA's multi-drop segments cannot cross this
+    node in a single segment (turns are not allowed in multi-drop
+    segments), so pre-allocated 2-hop traversals break here.
+    """
+    _sx, sy = topo.coords(src)
+    dx, _dy = topo.coords(dst)
+    # After X travel the packet sits at column dx in the source row.
+    return topo.node_at(dx, sy)

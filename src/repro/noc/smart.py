@@ -1,0 +1,203 @@
+"""SMART: the single-cycle multi-hop network (Krishna et al., HPCA'13).
+
+A SMART hop is a two-stage router pipeline followed by a single-cycle,
+potentially multi-tile link traversal — three cycles per hop at zero
+load (Table I).  The first stage performs routing, VC allocation, and
+speculative crossbar allocation; the second broadcasts the SMART setup
+request (SSR) on dedicated multi-drop wires to reserve a multi-hop path;
+the third traverses crossbar(s) and link(s), covering up to ``HPC_max``
+(= 2 at server-class tile sizes and 2 GHz) tiles.
+
+Pipeline modeling: the two stages are *pipelined*, so they add latency
+(a flit becomes visible at its next stop three cycles after its grant
+instead of two) without costing link bandwidth — flits still stream one
+per cycle through a held port.  The SSR outcome is resolved at grant
+time against the intermediate router's state.
+
+Bypass rules (SMART_1D with local priority):
+
+* bypass only continues *straight* — a packet that turns or ejects at
+  the next router stops there;
+* a locally buffered flit competing for the intermediate router's output
+  beats the SSR, which then falls back to a one-hop traversal;
+* the bypass path is held for the whole packet, so flits of a packet are
+  never reordered or interleaved (the hazard the paper attributes to
+  per-flit reservation schemes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.noc.flit import Flit
+from repro.noc.mesh import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.ports import OutputPort
+from repro.noc.router import CREDIT_DELAY, MeshRouter
+from repro.noc.topology import Direction
+from repro.noc.vc import VirtualChannel
+
+#: Grant-to-visibility latency: 2-stage pipeline + link (vs. 2 for mesh).
+SMART_HOP_LATENCY = 3
+#: Ejection takes the extra pipeline stage too.
+SMART_EJECT_LATENCY = 2
+
+
+class _BypassState:
+    """Per-output-port record of an active 2-tile pass-through."""
+
+    __slots__ = ("packet", "via_port", "landing_router", "landing_entry")
+
+    def __init__(self, packet: Packet, via_port: OutputPort):
+        self.packet = packet
+        self.via_port = via_port
+        self.landing_router = via_port.downstream_router
+        self.landing_entry = via_port.downstream_unit.direction
+
+
+class SmartRouter(MeshRouter):
+    """Mesh router with SSR-based 2-tile bypass and a 3-cycle hop."""
+
+    def __init__(self, node: int, network):
+        super().__init__(node, network)
+        self.hpc_max = network.params.smart.hops_per_cycle
+        #: Active bypasses keyed by output direction.
+        self._bypasses: Dict[Direction, _BypassState] = {}
+        for port in self.output_ports.values():
+            port.link_hop_latency = SMART_HOP_LATENCY
+
+    # -- grant: resolve the SSR, then stream at line rate ----------------------
+
+    def _grant(
+        self,
+        port: OutputPort,
+        vc: VirtualChannel,
+        packet: Packet,
+        now: int,
+        used_inputs: Set[Direction],
+    ) -> None:
+        via_port = self._try_bypass(packet, port.direction)
+        if via_port is not None:
+            landing_vc = via_port.downstream_vc(packet.vc_index)
+            landing_vc.allocated_to = packet
+            via_port.hold(packet, source_vc=None)
+            self._bypasses[port.direction] = _BypassState(packet, via_port)
+        elif not port.is_ejection:
+            port.downstream_vc(packet.vc_index).allocated_to = packet
+        port.hold(packet, source_vc=vc)
+        used_inputs.add(vc.unit.direction)
+        flit = self._send_smart(port, vc, now)
+        if flit.is_tail:
+            self._release(port)
+
+    def _advance_held(
+        self, port: OutputPort, now: int, used_inputs: Set[Direction]
+    ) -> None:
+        vc = port.active_vc
+        if vc is None:
+            return
+        front = vc.front()
+        if front is None or front.packet is not port.held_by:
+            return
+        if vc.unit.direction in used_inputs:
+            return
+        bypass = self._bypasses.get(port.direction)
+        if bypass is not None:
+            if bypass.via_port.usable_credits(front.packet.vc_index) < 1:
+                return
+        elif not port.has_credit_for(front.packet.vc_index):
+            return
+        used_inputs.add(vc.unit.direction)
+        flit = self._send_smart(port, vc, now)
+        if flit.is_tail:
+            self._release(port)
+
+    # -- transmission -----------------------------------------------------------
+
+    def _send_smart(self, port: OutputPort, vc: VirtualChannel, now: int) -> Flit:
+        bypass = self._bypasses.get(port.direction)
+        if bypass is None:
+            flit = vc.pop()
+            self.active_flits -= 1
+            feeder = vc.unit.feeder_port
+            if feeder is not None:
+                self.network.schedule_credit(now + CREDIT_DELAY, feeder, vc.index)
+            if port.is_ejection:
+                port.flits_sent += 1
+                if port.held_by is flit.packet:
+                    port.holder_sent += 1
+                self.network.schedule_eject(
+                    now + SMART_EJECT_LATENCY, port.ni_sink, flit
+                )
+                return flit
+            port.send(flit, now)
+            return flit
+        # Two-tile traversal: both links this cycle, landing two hops away.
+        flit = vc.pop()
+        self.active_flits -= 1
+        feeder = vc.unit.feeder_port
+        if feeder is not None:
+            self.network.schedule_credit(now + CREDIT_DELAY, feeder, vc.index)
+        packet = flit.packet
+        via_port = bypass.via_port
+        port.flits_sent += 1
+        port.holder_sent += 1
+        via_port.flits_sent += 1
+        via_port.holder_sent += 1
+        via_port.credits[packet.vc_index] -= 1
+        if flit.is_head:
+            packet.hops_taken += 2
+        self.network.schedule_arrival(
+            now + SMART_HOP_LATENCY,
+            bypass.landing_router,
+            bypass.landing_entry,
+            packet.vc_index,
+            flit,
+        )
+        return flit
+
+    def _release(self, port: OutputPort) -> None:
+        bypass = self._bypasses.pop(port.direction, None)
+        if bypass is not None:
+            bypass.via_port.release()
+        port.release()
+
+    # -- SSR arbitration -------------------------------------------------------------
+
+    def _try_bypass(self, packet: Packet, direction: Direction) -> Optional[OutputPort]:
+        """Return the intermediate router's output port if the SSR wins."""
+        if direction is Direction.LOCAL or self.hpc_max < 2:
+            return None
+        inter_node = self.topology.neighbor(self.node, direction)
+        if inter_node is None:
+            return None
+        inter: SmartRouter = self.network.routers[inter_node]
+        if inter.route_of(packet) is not direction:
+            return None  # the packet turns or ejects at the next router
+        via_port = inter.output_ports.get(direction)
+        if via_port is None or via_port.is_held:
+            return None
+        if inter._has_local_candidate(direction):
+            return None  # local flits have priority over SSRs
+        landing_vc = via_port.downstream_vc(packet.vc_index)
+        if landing_vc is None or not landing_vc.can_accept_packet(packet):
+            return None
+        if via_port.usable_credits(packet.vc_index) < 1:
+            return None
+        return via_port
+
+    def _has_local_candidate(self, direction: Direction) -> bool:
+        for unit in self._unit_list:
+            for vc in unit.vcs:
+                front = vc.front()
+                if front is not None and front.is_head and (
+                    self.route_of(front.packet) is direction
+                ):
+                    return True
+        return False
+
+
+class SmartNetwork(MeshNetwork):
+    """The SMART organization: mesh wiring with SMART routers."""
+
+    router_class = SmartRouter

@@ -1,0 +1,142 @@
+"""Network statistics: latency, throughput, hop counts, PRA counters.
+
+The system-level performance model reads packet latencies directly; the
+aggregated statistics here back the network-level experiments (load vs.
+latency) and the Section V-B control-packet analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noc.packet import Packet
+from repro.params import MessageClass
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _percentile(values: List[int], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for empty input)."""
+    if not values:
+        return 0.0
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("percentile fraction must be in [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return float(ordered[rank])
+
+
+@dataclass
+class NetworkStats:
+    """Counters collected by a network over a simulation run."""
+
+    packets_injected: int = 0
+    packets_ejected: int = 0
+    flits_ejected: int = 0
+    total_hops: int = 0
+    network_latencies: List[int] = field(default_factory=list)
+    total_latencies: List[int] = field(default_factory=list)
+    per_class_latency: Dict[MessageClass, List[int]] = field(
+        default_factory=lambda: {mc: [] for mc in MessageClass}
+    )
+    #: Cycles packets spent blocked behind resources proactively
+    #: allocated to *other* packets (Section V-B underutilization stat).
+    pra_blocked_cycles: int = 0
+    #: PRA control-network counters (zero for non-PRA organizations).
+    control_packets_injected: int = 0
+    #: Control packets dropped at the injection latch (never entered).
+    control_injection_conflicts: int = 0
+    control_lag_at_drop: Counter = field(default_factory=Counter)
+    control_drop_reasons: Counter = field(default_factory=Counter)
+    #: Data packets that began traversal with a pre-allocated path.
+    pra_planned_packets: int = 0
+
+    def record_injection(self, packet: Packet) -> None:
+        self.packets_injected += 1
+
+    def record_ejection(self, packet: Packet) -> None:
+        self.packets_ejected += 1
+        self.flits_ejected += packet.size
+        self.total_hops += packet.hops_taken
+        net = packet.network_latency()
+        tot = packet.total_latency()
+        if net is not None:
+            self.network_latencies.append(net)
+            self.per_class_latency[packet.msg_class].append(net)
+        if tot is not None:
+            self.total_latencies.append(tot)
+        self.pra_blocked_cycles += packet.pra_blocked_cycles
+
+    # -- summaries -------------------------------------------------------
+
+    @property
+    def avg_network_latency(self) -> float:
+        return _mean(self.network_latencies)
+
+    @property
+    def avg_total_latency(self) -> float:
+        return _mean(self.total_latencies)
+
+    @property
+    def avg_hops(self) -> float:
+        if not self.packets_ejected:
+            return 0.0
+        return self.total_hops / self.packets_ejected
+
+    def avg_class_latency(self, mc: MessageClass) -> float:
+        return _mean(self.per_class_latency[mc])
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Network-latency percentile (e.g. 0.99 for the p99 tail)."""
+        return _percentile(self.network_latencies, fraction)
+
+    def latency_histogram(self, bucket: int = 4) -> Dict[int, int]:
+        """Latencies bucketed into ``bucket``-cycle bins (lower edge)."""
+        if bucket < 1:
+            raise ValueError("bucket width must be positive")
+        hist: Dict[int, int] = {}
+        for latency in self.network_latencies:
+            edge = (latency // bucket) * bucket
+            hist[edge] = hist.get(edge, 0) + 1
+        return dict(sorted(hist.items()))
+
+    @property
+    def in_flight(self) -> int:
+        return self.packets_injected - self.packets_ejected
+
+    @property
+    def control_packets_per_data_packet(self) -> float:
+        if not self.packets_injected:
+            return 0.0
+        return self.control_packets_injected / self.packets_injected
+
+    def lag_distribution(self) -> Dict[int, float]:
+        """Fraction of control packets dropped at each lag (Figure 7)."""
+        total = sum(self.control_lag_at_drop.values())
+        if not total:
+            return {}
+        return {
+            lag: count / total
+            for lag, count in sorted(self.control_lag_at_drop.items())
+        }
+
+    def pra_blocked_fraction(self) -> float:
+        """Blocked-behind-reservation time over total network time."""
+        total_time = sum(self.network_latencies)
+        if not total_time:
+            return 0.0
+        return self.pra_blocked_cycles / total_time
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "packets_injected": self.packets_injected,
+            "packets_ejected": self.packets_ejected,
+            "avg_network_latency": self.avg_network_latency,
+            "avg_total_latency": self.avg_total_latency,
+            "avg_hops": self.avg_hops,
+            "control_packets_per_data_packet": self.control_packets_per_data_packet,
+        }

@@ -1,0 +1,118 @@
+"""Two-dimensional mesh topology: node coordinates, ports, neighbors.
+
+Nodes are numbered row-major: node ``id = y * width + x`` with ``x``
+increasing eastward and ``y`` increasing southward.  Each router has five
+ports (Table I): the local (NI) port plus one per cardinal direction.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator, List, Optional, Tuple
+
+
+class Direction(IntEnum):
+    """Router port indices.  ``LOCAL`` is the injection/ejection port."""
+
+    LOCAL = 0
+    NORTH = 1
+    EAST = 2
+    SOUTH = 3
+    WEST = 4
+
+    @property
+    def opposite(self) -> "Direction":
+        """The port on the neighboring router that faces this one."""
+        if self is Direction.LOCAL:
+            return Direction.LOCAL
+        flip = {
+            Direction.NORTH: Direction.SOUTH,
+            Direction.SOUTH: Direction.NORTH,
+            Direction.EAST: Direction.WEST,
+            Direction.WEST: Direction.EAST,
+        }
+        return flip[self]
+
+
+#: The four non-local directions in a fixed arbitration order.
+CARDINALS = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+
+#: Per-direction coordinate deltas (dx, dy).
+_DELTAS = {
+    Direction.NORTH: (0, -1),
+    Direction.SOUTH: (0, 1),
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+}
+
+
+class MeshTopology:
+    """Geometry of a ``width``-by-``height`` mesh."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of ``node``."""
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside mesh")
+        return y * self.width + x
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        """Adjacent node in ``direction``, or None at a mesh edge."""
+        if direction is Direction.LOCAL:
+            return None
+        x, y = self.coords(node)
+        dx, dy = _DELTAS[direction]
+        nx, ny = x + dx, y + dy
+        if 0 <= nx < self.width and 0 <= ny < self.height:
+            return self.node_at(nx, ny)
+        return None
+
+    def neighbors(self, node: int) -> Iterator[Tuple[Direction, int]]:
+        """All (direction, neighbor) pairs that exist for ``node``."""
+        for direction in CARDINALS:
+            other = self.neighbor(node, direction)
+            if other is not None:
+                yield direction, other
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def walk(self, node: int, direction: Direction, hops: int) -> Optional[int]:
+        """Node reached after ``hops`` steps in ``direction`` (None if the
+        walk leaves the mesh).  Used by multi-drop control segments."""
+        current: Optional[int] = node
+        for _ in range(hops):
+            if current is None:
+                return None
+            current = self.neighbor(current, direction)
+        return current
+
+    def bidirectional_links(self) -> List[Tuple[int, int]]:
+        """Each physical adjacent pair once; for area/power accounting."""
+        links = []
+        for node in range(self.num_nodes):
+            for direction in (Direction.EAST, Direction.SOUTH):
+                other = self.neighbor(node, direction)
+                if other is not None:
+                    links.append((node, other))
+        return links
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+
+    def __repr__(self) -> str:
+        return f"MeshTopology({self.width}x{self.height})"

@@ -1,0 +1,28 @@
+"""Full-system performance model: cores, co-simulation, sampling.
+
+The Flexus/SimFlex substitute (DESIGN.md §5): trace-driven cores whose
+every L1 miss is a real packet pair through the cycle-accurate NoC, with
+per-workload ILP (base CPI) and MLP limits governing how much of the LLC
+round-trip each core can hide.  Performance is measured exactly the way
+the paper measures it — application instructions per cycle, aggregated
+over all 64 cores — and normalized to the mesh baseline.
+"""
+
+from repro.perf.core_model import CoreModel
+from repro.perf.system import PerfSample, SystemSimulator, simulate
+from repro.perf.sampling import SampleStats, measure_with_confidence
+from repro.perf.metrics import geomean, normalize_to
+from repro.perf.instrumentation import LatencyReport, PraProbe
+
+__all__ = [
+    "CoreModel",
+    "PerfSample",
+    "SystemSimulator",
+    "simulate",
+    "SampleStats",
+    "measure_with_confidence",
+    "geomean",
+    "normalize_to",
+    "LatencyReport",
+    "PraProbe",
+]

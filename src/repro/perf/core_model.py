@@ -1,0 +1,126 @@
+"""Event-driven core model: a 3-way OoO proxy with limited MLP.
+
+The model captures the two properties the paper's argument rests on:
+
+* **instruction misses serialize** — a fetch miss empties the pipeline
+  front end; the 64-entry ROB cannot hide an LLC round trip, so the core
+  stalls for the full latency (server workloads' dominant stall [1],[2]);
+* **data misses overlap up to MLP** — the LSQ sustains a small number of
+  outstanding misses; beyond it the core stalls until one returns.
+
+Execution between misses is charged at the workload's base CPI.  Every
+miss becomes a :class:`~repro.tile.llc.Transaction` issued to the chip,
+so the latency the core observes is produced by the actual
+cycle-accurate network + LLC + memory simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.tile.llc import Transaction
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.tracegen import AccessTraceGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tile.chip import Chip
+
+
+class CoreModel:
+    """One core executing one workload's service threads."""
+
+    def __init__(
+        self,
+        node: int,
+        chip: "Chip",
+        profile: WorkloadProfile,
+        seed: int = 0,
+    ):
+        self.node = node
+        self.chip = chip
+        self.profile = profile
+        self.trace = AccessTraceGenerator(profile, core_id=node, seed=seed)
+        self.instructions_retired = 0
+        self.outstanding_data = 0
+        self.waiting_instruction = False
+        self.stalled_on_mlp = False
+        self.stall_cycles = 0
+        self._stall_started: Optional[int] = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin execution (schedules the first inter-miss window)."""
+        if self._started:
+            raise RuntimeError("core already started")
+        self._started = True
+        self._schedule_window(self.chip.cycle)
+
+    def _schedule_window(self, now: int) -> None:
+        gap = self.trace.next_gap()
+        exec_cycles = max(1, round(gap * self.profile.base_cpi))
+        self.chip.schedule(now + exec_cycles, self._window_done, gap)
+
+    def _window_done(self, gap: int) -> None:
+        """Executed ``gap`` instructions; the next one misses the L1."""
+        self.instructions_retired += gap
+        now = self.chip.cycle
+        access = self.trace.next_access()
+        txn = Transaction(
+            core_node=self.node,
+            addr=access.addr,
+            is_instruction=access.is_instruction,
+            is_write=access.is_write,
+            issued_at=now,
+        )
+        self.chip.issue(txn)
+        if access.is_instruction:
+            self.waiting_instruction = True
+            self._begin_stall(now)
+            return
+        self.outstanding_data += 1
+        if self.outstanding_data >= self._mlp_limit():
+            self.stalled_on_mlp = True
+            self._begin_stall(now)
+        else:
+            self._schedule_window(now)
+
+    def on_complete(self, txn: Transaction, now: int) -> None:
+        """A response reached this core."""
+        if txn.is_instruction:
+            self.waiting_instruction = False
+            self._end_stall(now)
+            self._schedule_window(now)
+            return
+        self.outstanding_data -= 1
+        if self.stalled_on_mlp:
+            self.stalled_on_mlp = False
+            self._end_stall(now)
+            self._schedule_window(now)
+
+    # -- MLP --------------------------------------------------------------------
+
+    def _mlp_limit(self) -> int:
+        """Sampled per miss so fractional MLP values take effect."""
+        mlp = self.profile.mlp
+        base = int(mlp)
+        frac = mlp - base
+        limit = base + (1 if self.chip.rng.random() < frac else 0)
+        return max(1, limit)
+
+    # -- stall accounting ----------------------------------------------------------
+
+    def _begin_stall(self, now: int) -> None:
+        if self._stall_started is None:
+            self._stall_started = now
+
+    def _end_stall(self, now: int) -> None:
+        if self._stall_started is not None:
+            self.stall_cycles += now - self._stall_started
+            self._stall_started = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreModel(node={self.node}, retired={self.instructions_retired})"
+        )

@@ -1,0 +1,115 @@
+"""Latency-attribution instrumentation for Mesh+PRA analysis.
+
+The EXPERIMENTS.md gap analysis needs to know *where* latency goes:
+planned vs. unplanned responses, requests, and how far plans carry their
+packets.  :class:`PraProbe` attaches non-invasively to a network and
+collects exactly that, without perturbing simulation behavior.
+
+Example::
+
+    probe = PraProbe.attach(sim.chip.network)
+    sim.run_sample(...)
+    report = probe.report()
+    print(report.planned_response_latency, report.request_latency)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind
+
+
+@dataclass
+class LatencyReport:
+    """Aggregated attribution over the probed interval."""
+
+    planned_responses: int = 0
+    unplanned_responses: int = 0
+    requests: int = 0
+    planned_response_latency: float = 0.0
+    unplanned_response_latency: float = 0.0
+    request_latency: float = 0.0
+    #: Histogram of plan lengths (single-cycle steps) at run end.
+    plan_lengths: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def planned_fraction(self) -> float:
+        total = self.planned_responses + self.unplanned_responses
+        return self.planned_responses / total if total else 0.0
+
+    @property
+    def mean_plan_length(self) -> float:
+        total = sum(self.plan_lengths.values())
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.plan_lengths.items()) / total
+
+
+class PraProbe:
+    """Non-invasive observer of PRA plan construction and delivery."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._planned_pids: Set[int] = set()
+        self._plan_lengths: Dict[int, int] = {}
+        self._lat: Dict[str, List[int]] = {
+            "planned": [], "unplanned": [], "request": [],
+        }
+        self._installed = False
+
+    @classmethod
+    def attach(cls, network: Network) -> "PraProbe":
+        probe = cls(network)
+        probe.install()
+        return probe
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("probe already installed")
+        self._installed = True
+        self._orig_deliver = self.network._deliver
+        self.network._deliver = self._on_deliver  # type: ignore[assignment]
+        control = getattr(self.network, "control", None)
+        if control is not None:
+            self._orig_append = control._append_step
+
+            def traced_append(run, step, _orig=self._orig_append):
+                _orig(run, step)
+                self._planned_pids.add(run.packet.pid)
+                self._plan_lengths[run.packet.pid] = len(run.plan.steps)
+
+            control._append_step = traced_append
+
+    def _on_deliver(self, packet: Packet, now: int) -> None:
+        self._orig_deliver(packet, now)
+        latency = packet.network_latency()
+        if latency is None:
+            return
+        if packet.msg_class is MessageClass.RESPONSE:
+            if packet.pid in self._planned_pids:
+                self._lat["planned"].append(latency)
+            else:
+                self._lat["unplanned"].append(latency)
+        elif packet.msg_class is MessageClass.REQUEST:
+            self._lat["request"].append(latency)
+
+    def report(self) -> LatencyReport:
+        def mean(xs: List[int]) -> float:
+            return sum(xs) / len(xs) if xs else 0.0
+
+        lengths: Dict[int, int] = {}
+        for pid, steps in self._plan_lengths.items():
+            lengths[steps] = lengths.get(steps, 0) + 1
+        return LatencyReport(
+            planned_responses=len(self._lat["planned"]),
+            unplanned_responses=len(self._lat["unplanned"]),
+            requests=len(self._lat["request"]),
+            planned_response_latency=mean(self._lat["planned"]),
+            unplanned_response_latency=mean(self._lat["unplanned"]),
+            request_latency=mean(self._lat["request"]),
+            plan_lengths=lengths,
+        )

@@ -1,0 +1,193 @@
+"""Full-system co-simulation: 64 cores + chip + NoC, SimFlex-style.
+
+Mirrors the paper's methodology (Section IV-D): launch from a warmed
+state, run a warm-up interval of detailed simulation to reach steady
+state, then measure application instructions per cycle over the
+measurement interval.  Per-workload, per-NoC performance numbers come
+from :func:`simulate`; confidence intervals over seeds come from
+:mod:`repro.perf.sampling`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.params import ChipParams, NocKind, default_chip
+from repro.perf.core_model import CoreModel
+from repro.tile.chip import Chip
+from repro.tile.llc import Transaction
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+
+@dataclass
+class PerfSample:
+    """One measurement interval's results."""
+
+    workload: str
+    noc_kind: NocKind
+    instructions: int
+    cycles: int
+    packets: int
+    avg_network_latency: float
+    avg_transaction_latency: float
+    #: PRA diagnostics (zero for other organizations).
+    control_packets: int = 0
+    control_per_data: float = 0.0
+    lag_distribution: Dict[int, float] = field(default_factory=dict)
+    pra_blocked_fraction: float = 0.0
+    #: Link/buffer activity for the power model.
+    flits_delivered: int = 0
+    total_hops: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate application instructions per cycle (all cores)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def per_core_ipc(self) -> float:
+        return self.ipc / 64
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for manifests and notebooks)."""
+        return {
+            "workload": self.workload,
+            "noc": self.noc_kind.value,
+            "ipc": self.ipc,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "packets": self.packets,
+            "avg_network_latency": self.avg_network_latency,
+            "avg_transaction_latency": self.avg_transaction_latency,
+            "control_packets": self.control_packets,
+            "control_per_data": self.control_per_data,
+            "lag_distribution": {
+                str(k): v for k, v in self.lag_distribution.items()
+            },
+            "pra_blocked_fraction": self.pra_blocked_fraction,
+        }
+
+
+class SystemSimulator:
+    """Assembles and runs one (workload, NoC) configuration."""
+
+    def __init__(
+        self,
+        workload: Union[str, WorkloadProfile],
+        noc_kind: NocKind,
+        chip_params: Optional[ChipParams] = None,
+        seed: int = 0,
+        detailed_llc: bool = False,
+    ):
+        self.profile = (
+            workload if isinstance(workload, WorkloadProfile)
+            else get_profile(workload)
+        )
+        self.noc_kind = noc_kind
+        params = chip_params or default_chip(noc_kind)
+        if params.noc.kind is not noc_kind:
+            params = params.with_noc_kind(noc_kind)
+        self.params = params
+        self.chip = Chip(
+            params,
+            llc_hit_ratio=self.profile.llc_hit_ratio,
+            detailed_llc=detailed_llc,
+            seed=seed,
+        )
+        self.cores = [
+            CoreModel(node, self.chip, self.profile, seed=seed)
+            for node in range(params.num_tiles)
+        ]
+        self.chip.on_complete = self._route_completion
+        self._started = False
+
+    def _route_completion(self, txn: Transaction, now: int) -> None:
+        self.cores[txn.core_node].on_complete(txn, now)
+
+    # -- measurement --------------------------------------------------------------
+
+    def run_sample(self, warmup: int = 2000, measure: int = 10000) -> PerfSample:
+        """Warm up, then measure one interval (the SimFlex recipe)."""
+        if not self._started:
+            for core in self.cores:
+                core.start()
+            self._started = True
+        self.chip.run(warmup)
+        start = _Snapshot.take(self)
+        self.chip.run(measure)
+        end = _Snapshot.take(self)
+        return self._diff(start, end, measure)
+
+    def _diff(self, start: "_Snapshot", end: "_Snapshot",
+              cycles: int) -> PerfSample:
+        stats = self.chip.network.stats
+        n_lat = stats.network_latencies[start.lat_len:end.lat_len]
+        packets = end.ejected - start.ejected
+        avg_net = sum(n_lat) / len(n_lat) if n_lat else 0.0
+        lat_sum = end.txn_latency_sum - start.txn_latency_sum
+        lat_cnt = end.txn_latency_count - start.txn_latency_count
+        control = end.control - start.control
+        lag_counter = end.lag_counter - start.lag_counter
+        lag_total = sum(lag_counter.values())
+        blocked = end.blocked - start.blocked
+        net_time = sum(n_lat)
+        return PerfSample(
+            workload=self.profile.name,
+            noc_kind=self.noc_kind,
+            instructions=end.instructions - start.instructions,
+            cycles=cycles,
+            packets=packets,
+            avg_network_latency=avg_net,
+            avg_transaction_latency=(lat_sum / lat_cnt) if lat_cnt else 0.0,
+            control_packets=control,
+            control_per_data=(control / packets) if packets else 0.0,
+            lag_distribution=(
+                {lag: cnt / lag_total for lag, cnt in sorted(lag_counter.items())}
+                if lag_total else {}
+            ),
+            pra_blocked_fraction=(blocked / net_time) if net_time else 0.0,
+            flits_delivered=end.flits - start.flits,
+            total_hops=end.hops - start.hops,
+        )
+
+
+class _Snapshot:
+    """Counter snapshot for interval differencing."""
+
+    __slots__ = (
+        "instructions", "ejected", "lat_len", "txn_latency_sum",
+        "txn_latency_count", "control", "lag_counter", "blocked",
+        "flits", "hops",
+    )
+
+    @classmethod
+    def take(cls, sim: SystemSimulator) -> "_Snapshot":
+        snap = cls()
+        stats = sim.chip.network.stats
+        snap.instructions = sum(c.instructions_retired for c in sim.cores)
+        snap.ejected = stats.packets_ejected
+        snap.lat_len = len(stats.network_latencies)
+        snap.txn_latency_sum = sum(stats.network_latencies)
+        snap.txn_latency_count = len(stats.network_latencies)
+        snap.control = stats.control_packets_injected
+        snap.lag_counter = Counter(stats.control_lag_at_drop)
+        snap.blocked = stats.pra_blocked_cycles
+        snap.flits = stats.flits_ejected
+        snap.hops = stats.total_hops
+        return snap
+
+
+def simulate(
+    workload: Union[str, WorkloadProfile],
+    noc_kind: NocKind,
+    warmup: int = 2000,
+    measure: int = 10000,
+    seed: int = 0,
+    chip_params: Optional[ChipParams] = None,
+) -> PerfSample:
+    """One-call convenience wrapper: build, warm up, measure."""
+    sim = SystemSimulator(workload, noc_kind, chip_params=chip_params,
+                          seed=seed)
+    return sim.run_sample(warmup=warmup, measure=measure)

@@ -1,0 +1,33 @@
+"""Physical models: area, energy, and performance density.
+
+These are first-order analytic models parameterized with the exact
+constants the paper reports (Section IV-B): 32 nm / 0.9 V / 2 GHz,
+semi-global wires at 85 ps/mm with power-delay-optimized repeaters,
+50 fJ/bit/mm links with repeaters at 19% of link energy, flip-flop
+buffers (DSENT-derived), CACTI-derived cache area/power, and the
+Cortex-A15 core numbers from Microprocessor Report.  The buffer cell
+area is calibrated so the Mesh organization totals the paper's reported
+3.5 mm²; the SMART and Mesh+PRA totals then *follow from structure*
+(multi-tile repeaters, SSR wires, the control network, latches, and
+reservation state).
+"""
+
+from repro.physical.wires import LinkModel
+from repro.physical.buffers import BufferModel
+from repro.physical.crossbar import CrossbarModel
+from repro.physical.area import NocArea, noc_area
+from repro.physical.power import NocPower, noc_power, chip_power
+from repro.physical.density import chip_area_mm2, performance_density
+
+__all__ = [
+    "LinkModel",
+    "BufferModel",
+    "CrossbarModel",
+    "NocArea",
+    "noc_area",
+    "NocPower",
+    "noc_power",
+    "chip_power",
+    "chip_area_mm2",
+    "performance_density",
+]

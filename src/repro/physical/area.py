@@ -1,0 +1,97 @@
+"""NOC area by organization (Figure 8): links, buffers, crossbars.
+
+The mesh total is anchored at the paper's 3.5 mm² through the buffer
+cell calibration; SMART and Mesh+PRA then differ *structurally*:
+
+* **SMART** re-sizes link repeaters for single-cycle two-tile traversal
+  and adds the SSR multi-drop wires plus bypass muxing — the paper
+  reports 4.5 mm² (+31% over mesh).
+* **Mesh+PRA** also needs two-tile repeaters on the data links (packets
+  cross two tiles per cycle on pre-allocated paths), adds the 15-bit
+  bufferless control network of 2-hop multi-drop segments, one latch per
+  input port, the reservation bit vectors, and bypass muxing — the paper
+  reports 4.9 mm² (+40% over mesh).
+* **Ideal** is hypothetical; the paper idealistically charges it the
+  mesh's area for the density comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ChipParams, NocKind
+from repro.physical.buffers import (
+    BufferModel,
+    pra_extra_buffer_bits,
+    router_vc_buffer_bits,
+)
+from repro.physical.crossbar import data_crossbar
+from repro.physical.wires import (
+    control_link,
+    data_link,
+    num_unidirectional_links,
+)
+
+#: SSR broadcast wires per direction for HPC_max = 2 (a few bits to two
+#: neighbors, cf. SMART), expressed in wire-bits per data link.
+SMART_SSR_BITS = 12
+
+#: Fraction of extra crossbar input legs for bypass paths.
+SMART_XBAR_EXTRA = 0.15
+PRA_XBAR_EXTRA = 0.20
+
+
+@dataclass(frozen=True)
+class NocArea:
+    """Figure 8's three bars for one organization."""
+
+    kind: NocKind
+    links_mm2: float
+    buffers_mm2: float
+    crossbar_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.links_mm2 + self.buffers_mm2 + self.crossbar_mm2
+
+    def breakdown(self) -> dict:
+        return {
+            "links": self.links_mm2,
+            "buffers": self.buffers_mm2,
+            "crossbar": self.crossbar_mm2,
+            "total": self.total_mm2,
+        }
+
+
+def noc_area(chip: ChipParams, kind: NocKind = None) -> NocArea:
+    """Compute the NOC area breakdown for one organization."""
+    kind = kind or chip.noc.kind
+    n_routers = chip.num_tiles
+    n_links = num_unidirectional_links(chip)
+
+    if kind is NocKind.MESH or kind is NocKind.IDEAL:
+        # The ideal network is charged the mesh's area (paper Section V-D).
+        links = n_links * data_link(chip, two_tile=False).repeater_area_mm2
+        buffers = n_routers * BufferModel(router_vc_buffer_bits(chip)).area_mm2
+        xbar = n_routers * data_crossbar(chip).area_mm2
+        return NocArea(kind, links, buffers, xbar)
+
+    if kind is NocKind.SMART:
+        data = n_links * data_link(chip, two_tile=True).repeater_area_mm2
+        ssr_fraction = SMART_SSR_BITS / chip.noc.router.link_width_bits
+        ssr = n_links * data_link(chip, two_tile=True).repeater_area_mm2 * (
+            ssr_fraction * 2.0  # multi-drop reach of two tiles
+        )
+        buffers = n_routers * BufferModel(router_vc_buffer_bits(chip)).area_mm2
+        xbar = n_routers * data_crossbar(chip, SMART_XBAR_EXTRA).area_mm2
+        return NocArea(kind, data + ssr, buffers, xbar)
+
+    if kind is NocKind.MESH_PRA:
+        data = n_links * data_link(chip, two_tile=True).repeater_area_mm2
+        control = n_links * control_link(chip).repeater_area_mm2
+        bits = router_vc_buffer_bits(chip) + pra_extra_buffer_bits(chip)
+        buffers = n_routers * BufferModel(bits).area_mm2
+        xbar = n_routers * data_crossbar(chip, PRA_XBAR_EXTRA).area_mm2
+        return NocArea(kind, data + control, buffers, xbar)
+
+    raise ValueError(f"unknown organization {kind}")

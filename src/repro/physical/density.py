@@ -1,0 +1,31 @@
+"""Performance density (Figure 9): performance per square millimeter.
+
+Only cores, caches, and interconnect count (the paper disregards memory
+channels and IO).  The ideal network is idealistically charged the
+mesh's area.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.params import ChipParams, NocKind
+from repro.physical.area import noc_area
+
+
+def chip_area_mm2(chip: ChipParams, kind: NocKind = None) -> float:
+    """Cores + LLC + NOC area for one organization."""
+    kind = kind or chip.noc.kind
+    cores = chip.num_tiles * chip.core.area_mm2
+    llc = chip.cache.llc_total_mb * chip.cache.area_mm2_per_mb
+    return cores + llc + noc_area(chip, kind).total_mm2
+
+
+def performance_density(
+    chip: ChipParams, performance_by_kind: Dict[NocKind, float]
+) -> Dict[NocKind, float]:
+    """Performance / mm² per organization, from absolute performance."""
+    return {
+        kind: perf / chip_area_mm2(chip, kind)
+        for kind, perf in performance_by_kind.items()
+    }

@@ -1,0 +1,109 @@
+"""Power models (Section V-E): NOC vs. cores vs. caches.
+
+The paper's finding: the NOC draws under 2 W in every organization while
+cores alone exceed 60 W — server workloads' low ILP/MLP keep network
+activity modest.  We compute NOC dynamic power from the simulation's
+measured activity (link traversals, buffer accesses, crossbar crossings)
+plus flip-flop leakage, and chip power from Table I's per-core and
+per-MB figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ChipParams, NocKind
+from repro.physical.buffers import (
+    BUFFER_ENERGY_FJ_PER_BIT,
+    BufferModel,
+    pra_extra_buffer_bits,
+    router_vc_buffer_bits,
+)
+from repro.physical.crossbar import XBAR_ENERGY_FJ_PER_BIT
+from repro.physical.wires import control_link, data_link
+
+#: Switching activity on random data.
+ACTIVITY_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class NocPower:
+    """NOC power for one measured interval."""
+
+    kind: NocKind
+    link_w: float
+    buffer_w: float
+    crossbar_w: float
+    leakage_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.link_w + self.buffer_w + self.crossbar_w + self.leakage_w
+
+
+def noc_power(
+    chip: ChipParams,
+    flit_hops: int,
+    cycles: int,
+    kind: NocKind = None,
+    control_packets: int = 0,
+) -> NocPower:
+    """NOC power from measured activity.
+
+    ``flit_hops`` is the number of flit-link-traversals in the interval
+    (each also costs one buffer write+read and one crossbar crossing);
+    ``control_packets`` adds control-network traversals for Mesh+PRA.
+    """
+    kind = kind or chip.noc.kind
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    tech = chip.technology
+    width = chip.noc.router.link_width_bits
+    bits = flit_hops * width * ACTIVITY_FACTOR
+    seconds = cycles / (tech.frequency_ghz * 1e9)
+
+    link_j = data_link(chip).traversal_energy_j(int(bits), tech)
+    buffer_j = 2 * bits * BUFFER_ENERGY_FJ_PER_BIT * 1e-15  # write + read
+    xbar_j = bits * XBAR_ENERGY_FJ_PER_BIT * 1e-15
+    if kind is NocKind.MESH_PRA and control_packets:
+        # One-flit control packets over ~3 multi-drop segments each.
+        ctrl_bits = (
+            control_packets
+            * 3
+            * chip.noc.pra.control_link_width_bits
+            * ACTIVITY_FACTOR
+        )
+        link_j += control_link(chip).traversal_energy_j(int(ctrl_bits), tech)
+
+    buffer_bits = router_vc_buffer_bits(chip)
+    if kind is NocKind.MESH_PRA:
+        buffer_bits += pra_extra_buffer_bits(chip)
+    leakage = chip.num_tiles * BufferModel(buffer_bits).leakage_w
+
+    return NocPower(
+        kind=kind,
+        link_w=link_j / seconds,
+        buffer_w=buffer_j / seconds,
+        crossbar_w=xbar_j / seconds,
+        leakage_w=leakage,
+    )
+
+
+@dataclass(frozen=True)
+class ChipPower:
+    cores_w: float
+    llc_w: float
+    noc_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.cores_w + self.llc_w + self.noc_w
+
+
+def chip_power(chip: ChipParams, noc: NocPower) -> ChipPower:
+    """Chip-level power from Table I constants plus the measured NOC."""
+    return ChipPower(
+        cores_w=chip.num_tiles * chip.core.power_w,
+        llc_w=chip.cache.llc_total_mb * chip.cache.power_w_per_mb,
+        noc_w=noc.total_w,
+    )

@@ -1,0 +1,31 @@
+"""Physical address mapping: NUCA slice interleaving, memory channels.
+
+Blocks are interleaved across LLC slices at cache-block granularity —
+the standard NUCA arrangement the paper's tiled processor uses — so
+consecutive blocks have consecutive home tiles and uniformly random
+addresses spread uniformly over the 64 slices.  Memory channels are
+interleaved the same way one level up.
+"""
+
+from __future__ import annotations
+
+#: Cache block size in bytes (Table I: 64-byte blocks).
+BLOCK_BYTES = 64
+_BLOCK_SHIFT = BLOCK_BYTES.bit_length() - 1
+
+
+def block_of(addr: int) -> int:
+    """Block number containing byte address ``addr``."""
+    if addr < 0:
+        raise ValueError("addresses are non-negative")
+    return addr >> _BLOCK_SHIFT
+
+
+def home_slice(addr: int, num_slices: int) -> int:
+    """Home LLC slice (tile id) of the block containing ``addr``."""
+    return block_of(addr) % num_slices
+
+
+def memory_channel(addr: int, num_channels: int) -> int:
+    """Memory channel servicing the block containing ``addr``."""
+    return block_of(addr) % num_channels

@@ -1,0 +1,73 @@
+"""A set-associative cache with LRU replacement.
+
+Used for the detailed (address-accurate) simulation mode of the LLC
+slices and by examples/tests; the fast statistical mode used in the
+paper-scale performance runs draws hits from the per-workload hit ratio
+instead (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.tile.address import BLOCK_BYTES, block_of
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache indexed by block address."""
+
+    def __init__(self, size_bytes: int, ways: int,
+                 block_bytes: int = BLOCK_BYTES):
+        if size_bytes % (ways * block_bytes) != 0:
+            raise ValueError("cache size must be a multiple of way size")
+        self.block_bytes = block_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * block_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache has no sets")
+        #: Per-set OrderedDict of block -> dirty flag (LRU order).
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, block: int) -> "OrderedDict[int, bool]":
+        return self._sets[block % self.num_sets]
+
+    def lookup(self, addr: int, write: bool = False) -> bool:
+        """Probe the cache; updates LRU order and statistics."""
+        block = block_of(addr)
+        entries = self._set_of(block)
+        if block in entries:
+            entries.move_to_end(block)
+            if write:
+                entries[block] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Insert the block; returns the evicted block number, if any."""
+        block = block_of(addr)
+        entries = self._set_of(block)
+        evicted = None
+        if block not in entries and len(entries) >= self.ways:
+            evicted, _dirty = entries.popitem(last=False)
+        entries[block] = dirty or entries.get(block, False)
+        entries.move_to_end(block)
+        return evicted
+
+    def contains(self, addr: int) -> bool:
+        return block_of(addr) in self._set_of(block_of(addr))
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,46 @@
+"""DDR3-1600 memory channels: fixed-service-time queues.
+
+Table I gives four channels.  Each access occupies the channel for
+``service_cycles`` (bus occupancy / bank cycle time at closed-page row
+policy) and completes ``access_cycles`` after it starts, both in 2 GHz
+core cycles.  LLC misses are rare in the server profiles we model, so
+the paper's results do not hinge on DRAM detail (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.params import MemoryParams
+
+
+class MemoryChannel:
+    """One DDR channel with in-order service."""
+
+    def __init__(self, channel_id: int, params: MemoryParams, scheduler):
+        """``scheduler`` is a callable ``(time, fn, *args)`` that runs
+        ``fn`` at ``time`` (the network's schedule_call)."""
+        self.channel_id = channel_id
+        self.params = params
+        self._schedule = scheduler
+        self._next_free = 0
+        self.accesses = 0
+        self.busy_cycles = 0
+
+    def access(self, now: int, on_done: Callable[[int], None]) -> int:
+        """Issue an access; ``on_done(done_time)`` fires at completion.
+
+        Returns the completion time (deterministic at issue).
+        """
+        start = max(now + 1, self._next_free)
+        self._next_free = start + self.params.service_cycles
+        done = start + self.params.access_cycles
+        self.accesses += 1
+        self.busy_cycles += self.params.service_cycles
+        self._schedule(done, on_done, done)
+        return done
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)

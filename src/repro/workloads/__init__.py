@@ -1,0 +1,28 @@
+"""Server workload models (CloudSuite) and synthetic traffic.
+
+CloudSuite itself (full applications on a full-system simulator) is not
+reproducible offline; following DESIGN.md's substitution table, each
+workload is characterized by the parameters that drive the paper's
+effect — instruction/data L1 miss rates, LLC hit ratio, base CPI (the
+ILP proxy), and memory-level parallelism — with values drawn from the
+CloudSuite characterization literature the paper cites ([2], [3], [7]).
+"""
+
+from repro.workloads.profiles import (
+    CLOUDSUITE,
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+from repro.workloads.tracegen import AccessTraceGenerator
+
+__all__ = [
+    "CLOUDSUITE",
+    "WORKLOAD_NAMES",
+    "WorkloadProfile",
+    "get_profile",
+    "SyntheticTraffic",
+    "TrafficPattern",
+    "AccessTraceGenerator",
+]

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_params_command(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "32 nm" in out
+
+
+def test_area_command(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "Mesh+PRA" in out
+    assert "4.9" in out
+
+
+def test_simulate_command(capsys):
+    rc = main(["simulate", "Web Search", "--noc", "mesh",
+               "--warmup", "100", "--measure", "400"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "aggregate IPC" in out
+
+
+def test_simulate_pra_diagnostics(capsys):
+    rc = main(["simulate", "MapReduce", "--noc", "mesh+pra",
+               "--warmup", "100", "--measure", "600"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "control/data packets" in out
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "--noc", "mesh", "--rates", "0.005",
+               "--cycles", "300"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rate" in out and "mesh" in out
+
+
+def test_figures_unknown_name(capsys):
+    assert main(["figures", "--only", "nonsense"]) == 2
+
+
+def test_figures_json_dump(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    rc = main(["figures", "--only", "table1,fig8", "--json", str(path)])
+    assert rc == 0
+    data = json.loads(path.read_text())
+    assert set(data) == {"table1", "fig8"}
+    assert data["fig8"]["headers"][0] == "Organization"
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["simulate", "NoSuchWorkload", "--measure", "100"])

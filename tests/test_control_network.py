@@ -1,0 +1,157 @@
+"""Behavioral tests for the control network: lag, drops, claims."""
+
+import pytest
+
+from repro.core.control_network import (
+    DROP_CONTROL_CONFLICT,
+    DROP_LAG_ZERO,
+    DROP_REACHED_DESTINATION,
+    DROP_RESOURCE_BUSY,
+)
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind, NocParams, PraParams
+from repro.noc.network import build_network
+from tests.helpers import assert_quiescent
+
+
+def make_pra(width=8, height=8, **pra_kwargs):
+    return build_network(
+        NocParams(kind=NocKind.MESH_PRA, mesh_width=width, mesh_height=height,
+                  pra=PraParams(**pra_kwargs))
+    )
+
+
+def announce_and_send(net, src, dst, ready_in=4):
+    pkt = Packet(src=src, dst=dst, msg_class=MessageClass.RESPONSE,
+                 created=net.cycle)
+    net.announce(pkt, ready_in=ready_in)
+    net.run(ready_in)
+    net.send(pkt)
+    return pkt
+
+
+class TestLagArithmetic:
+    def test_short_path_reaches_destination_with_lag_left(self):
+        net = make_pra()
+        pkt = announce_and_send(net, src=0, dst=2)  # 2 hops
+        net.drain(max_cycles=300)
+        reasons = net.stats.control_drop_reasons
+        assert reasons[DROP_REACHED_DESTINATION] == 1
+        # A 2-hop path is fully covered well before lag 4 expires.
+        (lag,) = net.stats.control_lag_at_drop.keys()
+        assert lag >= 1
+
+    def test_long_path_exhausts_lag(self):
+        net = make_pra()
+        pkt = announce_and_send(net, src=0, dst=63)  # 14 hops
+        net.drain(max_cycles=300)
+        assert net.stats.control_drop_reasons[DROP_LAG_ZERO] == 1
+        assert net.stats.control_lag_at_drop[0] == 1
+
+    def test_lag_bounds_preallocated_stretch(self):
+        """With lag L, at most L single-cycle steps are pre-allocated."""
+        for max_lag in (1, 2, 3):
+            net = make_pra(max_lag=max_lag)
+            pkt = announce_and_send(net, src=0, dst=7)
+            plan = pkt.pra_plan
+            assert plan is not None
+            net.drain(max_cycles=300)
+            assert len(plan.steps) <= max_lag
+
+    def test_tiny_window_still_injects_and_unwinds(self):
+        """Even a zero-cycle announce window leaves lag 1 (the two-cycle
+        injection pipeline is itself a window).  Whatever little gets
+        reserved, a late send must unwind it cleanly."""
+        net = make_pra()
+        pkt = Packet(src=0, dst=7, msg_class=MessageClass.RESPONSE,
+                     created=net.cycle)
+        net.announce(pkt, ready_in=0)
+        net.run(2)  # the send is now late; the plan will cancel
+        assert net.stats.control_packets_injected == 1
+        net.send(pkt)
+        net.drain(max_cycles=300)
+        assert pkt.ejected is not None
+        assert_quiescent(net)
+
+
+class TestConflicts:
+    def test_same_cycle_announces_conflict_on_shared_path(self):
+        """Two responses pre-allocating overlapping slots on the same
+        output port: the second run must drop at the busy resource, and
+        both packets still deliver."""
+        net = make_pra()
+        a = Packet(src=0, dst=7, msg_class=MessageClass.RESPONSE,
+                   created=net.cycle)
+        b = Packet(src=1, dst=7, msg_class=MessageClass.RESPONSE,
+                   created=net.cycle)
+        net.announce(a, ready_in=4)
+        net.announce(b, ready_in=4)
+        net.run(4)
+        net.send(a)
+        net.send(b)
+        net.drain(max_cycles=500)
+        assert net.stats.packets_ejected == 2
+        reasons = net.stats.control_drop_reasons
+        assert (
+            reasons[DROP_RESOURCE_BUSY] + reasons[DROP_CONTROL_CONFLICT] >= 1
+        )
+        assert_quiescent(net)
+
+    def test_injection_latch_conflict(self):
+        """Two announces from the same node in the same cycle: the
+        local latch holds one control packet; the loser is dropped at
+        injection (and never counted as injected)."""
+        net = make_pra()
+        a = Packet(src=0, dst=7, msg_class=MessageClass.RESPONSE,
+                   created=net.cycle)
+        b = Packet(src=0, dst=15, msg_class=MessageClass.RESPONSE,
+                   created=net.cycle)
+        net.announce(a, ready_in=4)
+        net.announce(b, ready_in=4)
+        assert net.stats.control_packets_injected <= 1
+
+
+class TestPlanExecution:
+    def test_full_plan_rides_two_hops_per_cycle(self):
+        net = make_pra()
+        pkt = announce_and_send(net, src=0, dst=4)  # 4 straight hops
+        plan = pkt.pra_plan
+        net.drain(max_cycles=300)
+        # 4 hops = two 2-hop steps, plus the ejection step.
+        assert [s.hops for s in plan.steps] == [2, 2, 1]
+        assert plan.steps[-1].out_dir.name == "LOCAL"
+        # Consecutive steps occupy consecutive cycles.
+        slots = [s.slot for s in plan.steps]
+        assert slots == list(range(slots[0], slots[0] + len(slots)))
+
+    def test_turns_break_two_hop_steps(self):
+        net = make_pra()
+        pkt = announce_and_send(net, src=0, dst=9)  # 1 east, 1 south
+        plan = pkt.pra_plan
+        net.drain(max_cycles=300)
+        assert all(s.hops == 1 for s in plan.steps[:-1])
+
+    def test_consumed_plan_clears_packet_state(self):
+        net = make_pra()
+        pkt = announce_and_send(net, src=0, dst=2)
+        net.drain(max_cycles=300)
+        assert pkt.pra_plan is None
+        assert not pkt.pra_pending
+        assert_quiescent(net)
+
+    def test_blocked_stat_counts_foreign_reservations(self):
+        """A packet denied a port because the slot is proactively
+        allocated to another packet accrues pra_blocked_cycles."""
+        net = make_pra(width=8, height=8)
+        victim_delivered = []
+        net.on_delivery(lambda p, now: victim_delivered.append(p))
+        planned = announce_and_send(net, src=0, dst=7)
+        # A competing response from node 1 wants the same row eastward
+        # in the same cycles, without a plan.
+        victim = Packet(src=1, dst=7, msg_class=MessageClass.RESPONSE,
+                        created=net.cycle)
+        net.send(victim)
+        net.drain(max_cycles=500)
+        assert net.stats.packets_ejected == 2
+        # The planned packet cannot be blocked by its own reservations.
+        assert planned.pra_blocked_cycles == 0

@@ -1,0 +1,84 @@
+"""Edge cases: self-sends, tiny meshes, saturation, API misuse."""
+
+import pytest
+
+from repro.noc.network import build_network
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind, NocParams
+from tests.helpers import assert_quiescent, make_network
+
+
+class TestSelfSend:
+    @pytest.mark.parametrize("kind", list(NocKind))
+    def test_src_equals_dst_delivers(self, kind):
+        net = make_network(kind)
+        pkt = Packet(src=5, dst=5, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.ejected is not None
+        assert pkt.hops_taken == 0
+
+
+class TestTinyMesh:
+    def test_two_by_one_mesh(self):
+        net = build_network(NocParams(kind=NocKind.MESH, mesh_width=2,
+                                      mesh_height=1))
+        pkt = Packet(src=0, dst=1, msg_class=MessageClass.RESPONSE,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.ejected is not None
+
+    def test_one_by_one_pra_mesh(self):
+        net = build_network(NocParams(kind=NocKind.MESH_PRA, mesh_width=1,
+                                      mesh_height=1))
+        pkt = Packet(src=0, dst=0, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.ejected is not None
+
+
+class TestSaturation:
+    @pytest.mark.parametrize("kind", [NocKind.MESH, NocKind.MESH_PRA])
+    def test_burst_into_one_destination(self, kind):
+        """Everyone floods node 0 at once — the worst ejection hotspot.
+        Everything must still deliver and unwind."""
+        net = make_network(kind)
+        sent = 0
+        for _ in range(4):
+            for src in range(1, 16):
+                net.send(Packet(src=src, dst=0,
+                                msg_class=MessageClass.RESPONSE,
+                                created=net.cycle))
+                sent += 1
+            net.step()
+        net.drain(max_cycles=30000)
+        assert net.stats.packets_ejected == sent
+        assert_quiescent(net)
+
+
+class TestApiMisuse:
+    def test_past_event_rejected(self):
+        net = make_network(NocKind.MESH)
+        net.run(5)
+        with pytest.raises(ValueError):
+            net.schedule_call(3, lambda: None)
+
+    def test_drain_timeout_raises(self):
+        net = make_network(NocKind.MESH)
+        net.send(Packet(src=0, dst=15, msg_class=MessageClass.REQUEST,
+                        created=net.cycle))
+        with pytest.raises(RuntimeError):
+            net.drain(max_cycles=2)
+
+    def test_double_hold_rejected(self):
+        net = make_network(NocKind.MESH)
+        port = net.routers[0].output_ports[
+            list(net.routers[0].output_ports)[0]
+        ]
+        pkt = Packet(src=0, dst=1, msg_class=MessageClass.REQUEST)
+        port.hold(pkt, source_vc=None)
+        with pytest.raises(RuntimeError):
+            port.hold(pkt, source_vc=None)

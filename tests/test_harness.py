@@ -1,0 +1,113 @@
+"""Tests for the experiment harness at a tiny scale."""
+
+import pytest
+
+from repro.harness import (
+    evaluation_grid,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    format_table,
+    get_scale,
+    power_analysis,
+    render_figure,
+    section5b_stats,
+    table1,
+)
+from repro.harness.runner import EvaluationScale, clear_grid_cache
+from repro.params import NocKind
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+TINY = EvaluationScale("tiny", warmup=150, measure=700, num_seeds=1)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    clear_grid_cache()
+    return evaluation_grid(scale=TINY)
+
+
+class TestRunner:
+    def test_grid_covers_all_cells(self, grid):
+        assert len(grid) == 6 * 4
+        for workload in WORKLOAD_NAMES:
+            for kind in NocKind:
+                assert (workload, kind) in grid
+
+    def test_grid_is_cached(self, grid):
+        again = evaluation_grid(scale=TINY)
+        assert again is grid
+
+    def test_scales(self):
+        assert get_scale("smoke").name == "smoke"
+        assert get_scale("full").num_seeds == 3
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_multi_seed_merge(self):
+        clear_grid_cache()
+        two = EvaluationScale("two", warmup=100, measure=400, num_seeds=2)
+        grid = evaluation_grid(("Web Search",), (NocKind.MESH,), scale=two)
+        sample = grid[("Web Search", NocKind.MESH)]
+        assert sample.cycles == 2 * 400
+        assert sample.instructions > 0
+        clear_grid_cache()
+
+
+class TestFigures:
+    def test_figure2_structure(self, grid):
+        result = figure2(TINY)
+        assert result["headers"] == ["Workload", "Mesh", "SMART", "Ideal"]
+        assert result["rows"][-1][0] == "GMean"
+        assert result["normalized"]["Web Search"][NocKind.MESH] == 1.0
+
+    def test_figure6_normalization(self, grid):
+        result = figure6(TINY)
+        for workload in WORKLOAD_NAMES:
+            assert result["normalized"][workload][NocKind.MESH] == 1.0
+
+    def test_figure7_rows_sum_to_one(self, grid):
+        result = figure7(TINY)
+        for row in result["rows"]:
+            assert sum(row[1:]) == pytest.approx(1.0)
+
+    def test_section5b(self, grid):
+        result = section5b_stats(TINY)
+        assert len(result["per_workload"]) == 6
+
+    def test_figure8_static(self):
+        result = figure8()
+        assert len(result["rows"]) == 3
+
+    def test_figure9_density_below_performance(self, grid):
+        perf = figure6(TINY)["gmeans"]
+        dens = figure9(TINY)["gmeans"]
+        # PRA's extra area means its density gain trails its perf gain.
+        assert dens[NocKind.MESH_PRA] < perf[NocKind.MESH_PRA]
+
+    def test_power_analysis(self, grid):
+        result = power_analysis(TINY)
+        assert {row[0] for row in result["rows"]} == {
+            "Mesh", "SMART", "Mesh+PRA", "Ideal"
+        }
+
+    def test_table1_render(self):
+        text = render_figure(table1())
+        assert "Table I" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Blong"], [["x", 1.23456], ["yy", 2.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        # all rows aligned to the same width
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text

@@ -1,0 +1,47 @@
+"""Tests for the PRA latency-attribution probe."""
+
+import pytest
+
+from repro.params import NocKind
+from repro.perf.instrumentation import PraProbe
+from repro.perf.system import SystemSimulator
+
+
+class TestPraProbe:
+    def test_attribution_on_pra_system(self):
+        sim = SystemSimulator("Web Search", NocKind.MESH_PRA, seed=1)
+        probe = PraProbe.attach(sim.chip.network)
+        sim.run_sample(warmup=300, measure=2000)
+        report = probe.report()
+        assert report.planned_responses > 0
+        assert report.requests > 0
+        # Planned responses are faster than unplanned ones.
+        if report.unplanned_responses > 20:
+            assert (report.planned_response_latency
+                    < report.unplanned_response_latency)
+        assert 0.0 < report.planned_fraction <= 1.0
+        assert report.mean_plan_length > 0
+
+    def test_probe_on_mesh_sees_no_plans(self):
+        sim = SystemSimulator("Web Search", NocKind.MESH, seed=1)
+        probe = PraProbe.attach(sim.chip.network)
+        sim.run_sample(warmup=200, measure=800)
+        report = probe.report()
+        assert report.planned_responses == 0
+        assert report.unplanned_responses > 0
+
+    def test_double_install_rejected(self):
+        sim = SystemSimulator("Web Search", NocKind.MESH, seed=1)
+        probe = PraProbe.attach(sim.chip.network)
+        with pytest.raises(RuntimeError):
+            probe.install()
+
+    def test_probe_does_not_change_results(self):
+        """Observation must not perturb simulation outcomes."""
+        a = SystemSimulator("MapReduce", NocKind.MESH_PRA, seed=7)
+        sample_a = a.run_sample(warmup=200, measure=1200)
+        b = SystemSimulator("MapReduce", NocKind.MESH_PRA, seed=7)
+        PraProbe.attach(b.chip.network)
+        sample_b = b.run_sample(warmup=200, measure=1200)
+        assert sample_a.instructions == sample_b.instructions
+        assert sample_a.packets == sample_b.packets

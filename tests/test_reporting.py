@@ -1,0 +1,35 @@
+"""Tests for table and bar-chart rendering."""
+
+from repro.harness.reporting import format_table, render_bars, render_figure
+
+
+def _result():
+    return {
+        "title": "T",
+        "headers": ["Workload", "Mesh", "PRA"],
+        "rows": [["A", 1.0, 1.05], ["B", 1.0, 1.10]],
+    }
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars(_result(), width=20)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # The peak value (1.10) gets the full width.
+        peak_line = [l for l in lines if "1.100" in l][0]
+        assert peak_line.count("#") == 20
+
+    def test_values_printed(self):
+        text = render_bars(_result())
+        assert "1.050" in text and "1.100" in text
+
+    def test_non_numeric_columns_fall_back(self):
+        result = {"title": "T", "headers": ["A", "B"],
+                  "rows": [["x", "y"]]}
+        text = render_bars(result)
+        assert text == render_figure(result)
+
+    def test_group_labels(self):
+        text = render_bars(_result())
+        assert "A" in text.splitlines()[1]

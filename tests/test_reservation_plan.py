@@ -1,0 +1,166 @@
+"""Unit tests for the PRA bookkeeping: reservation tables and plans."""
+
+import pytest
+
+from repro.core.plan import PlanStep, PraPlan, LAND_VC, SRC_VC
+from repro.core.reservation import ReservationEntry, ReservationTable
+from repro.noc.packet import Packet
+from repro.noc.topology import Direction
+from repro.params import MessageClass
+
+
+def make_plan(size_class=MessageClass.RESPONSE):
+    pkt = Packet(src=0, dst=3, msg_class=size_class)
+    return PraPlan(pkt, start_slot=10), pkt
+
+
+def make_entry(plan, slot=10, flit=0, driver=True):
+    step = PlanStep(
+        driver_node=0, out_dir=Direction.EAST, slot=slot, hops=1,
+        source_kind=SRC_VC, source_dir=Direction.LOCAL, source_vc=2,
+        landing_node=1, landing_kind=LAND_VC,
+        landing_entry=Direction.WEST,
+    )
+    return ReservationEntry(plan, step, flit, is_driver=driver)
+
+
+class TestReservationTable:
+    def test_reserve_and_pop(self):
+        table = ReservationTable(horizon=12)
+        plan, _ = make_plan()
+        entry = make_entry(plan)
+        table.reserve(10, entry)
+        assert not table.is_free(10)
+        assert table.pop(10) is entry
+        assert table.is_free(10)
+
+    def test_double_booking_rejected(self):
+        table = ReservationTable(horizon=12)
+        plan, _ = make_plan()
+        table.reserve(10, make_entry(plan))
+        with pytest.raises(RuntimeError):
+            table.reserve(10, make_entry(plan))
+
+    def test_cancelled_plan_frees_slot(self):
+        table = ReservationTable(horizon=12)
+        plan, _ = make_plan()
+        table.reserve(10, make_entry(plan))
+        plan.cancelled = True
+        assert table.is_free(10)
+        # A new reservation may take the slot.
+        plan2, _ = make_plan()
+        table.reserve(10, make_entry(plan2))
+        assert table.entry_at(10).plan is plan2
+
+    def test_window_free(self):
+        table = ReservationTable(horizon=12)
+        plan, _ = make_plan()
+        table.reserve(12, make_entry(plan, slot=12))
+        assert table.window_free(8, 4)
+        assert not table.window_free(10, 4)
+
+    def test_horizon(self):
+        table = ReservationTable(horizon=8)
+        assert table.within_horizon(now=100, first_slot=104, count=5)
+        assert not table.within_horizon(now=100, first_slot=105, count=5)
+
+    def test_has_pending_multiflit_per_class(self):
+        table = ReservationTable(horizon=12)
+        plan, pkt = make_plan(MessageClass.RESPONSE)
+        table.reserve(11, make_entry(plan, slot=11))
+        assert table.has_pending_multiflit(10, MessageClass.RESPONSE)
+        assert not table.has_pending_multiflit(10, MessageClass.REQUEST)
+        assert not table.has_pending_multiflit(12, MessageClass.RESPONSE)
+
+    def test_purge_before(self):
+        table = ReservationTable(horizon=12)
+        plan, _ = make_plan()
+        table.reserve(5, make_entry(plan, slot=5))
+        table.reserve(9, make_entry(plan, slot=9))
+        table.purge_before(8)
+        assert len(table) == 1
+        assert table.is_free(5) and not table.is_free(9)
+
+
+class _FakePort:
+    """Minimal OutputPort stand-in for claim accounting tests."""
+
+    def __init__(self, depth=5):
+        from repro.noc.vc import VirtualChannel
+
+        self._vc = VirtualChannel(2, depth)
+        self.credits = [depth, depth, depth]
+        self.reserved = [0, 0, 0]
+
+    def downstream_vc(self, idx):
+        return self._vc
+
+    def claim_buffer(self, idx, count):
+        assert self.credits[idx] >= count
+        self.credits[idx] -= count
+        self.reserved[idx] += count
+
+    def refund_buffer(self, idx, count):
+        self.credits[idx] += count
+        self.reserved[idx] -= count
+
+    def consume_claim(self, idx):
+        self.reserved[idx] -= 1
+
+
+class TestPraPlanClaims:
+    def test_claim_and_cancel_refunds(self):
+        plan, pkt = make_plan()
+        port = _FakePort()
+        plan.claim_landing_vc(port, pkt.vc_index)
+        assert port.credits[2] == 0
+        assert port.downstream_vc(2).allocated_to is pkt
+        plan.cancel()
+        assert port.credits[2] == 5
+        assert port.reserved[2] == 0
+        assert port.downstream_vc(2).allocated_to is None
+
+    def test_partial_consumption_then_cancel(self):
+        plan, pkt = make_plan()
+        port = _FakePort()
+        plan.claim_landing_vc(port, pkt.vc_index)
+        plan.consume_landing_credit()
+        plan.consume_landing_credit()
+        plan.cancel()
+        # Two promised slots were used (flits in flight occupy them);
+        # only the remaining three credits are refunded.
+        assert port.credits[2] == 3
+        assert port.reserved[2] == 0
+
+    def test_full_consumption_clears_claim(self):
+        plan, pkt = make_plan()
+        port = _FakePort()
+        plan.claim_landing_vc(port, pkt.vc_index)
+        for _ in range(pkt.size):
+            plan.consume_landing_credit()
+        assert plan.vc_claim is None
+        assert port.reserved[2] == 0
+
+    def test_double_claim_rejected(self):
+        plan, pkt = make_plan()
+        port = _FakePort()
+        plan.claim_landing_vc(port, pkt.vc_index)
+        with pytest.raises(AssertionError):
+            plan.claim_landing_vc(_FakePort(), pkt.vc_index)
+
+    def test_cancel_clears_packet_state(self):
+        plan, pkt = make_plan()
+        pkt.pra_plan = plan
+        pkt.pra_pending = True
+        plan.cancel()
+        assert pkt.pra_plan is None
+        assert not pkt.pra_pending
+        assert plan.cancelled
+
+    def test_cancel_is_idempotent(self):
+        plan, pkt = make_plan()
+        port = _FakePort()
+        plan.claim_landing_vc(port, pkt.vc_index)
+        plan.cancel()
+        plan.cancel()
+        assert port.credits[2] == 5

@@ -1,0 +1,115 @@
+"""Tests for the ring interconnect (Section II-B baseline)."""
+
+import random
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.noc.ring import build_ring, CLOCKWISE, COUNTER_CLOCKWISE
+from repro.params import MessageClass
+
+
+class TestRingBasics:
+    def test_single_packet_shortest_direction(self):
+        net = build_ring(8)
+        pkt = Packet(src=0, dst=2, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.hops_taken == 2
+
+    def test_wraparound_shorter_path(self):
+        net = build_ring(8)
+        pkt = Packet(src=1, dst=7, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.hops_taken == 2  # 1 -> 0 -> 7 counter-clockwise
+
+    def test_two_cycles_per_hop(self):
+        net = build_ring(16)
+        pkt = Packet(src=0, dst=4, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.network_latency() == 2 * 4 + 2 + 1  # as on the mesh
+
+    def test_dateline_crossing_delivers(self):
+        net = build_ring(8)
+        # 6 -> 1 clockwise crosses the 7 -> 0 dateline.
+        pkt = Packet(src=6, dst=1, msg_class=MessageClass.RESPONSE,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=200)
+        assert pkt.ejected is not None
+        assert pkt.ring_layer == 1  # switched layers at the dateline
+
+    def test_multi_flit_across_dateline_intact(self):
+        net = build_ring(6)
+        pkt = Packet(src=5, dst=2, msg_class=MessageClass.RESPONSE,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=200)
+        assert net.stats.flits_ejected == 5
+
+
+class TestRingLoad:
+    def test_random_traffic_all_delivered(self):
+        rng = random.Random(21)
+        net = build_ring(16)
+        sent = 0
+        for _ in range(300):
+            src = rng.randrange(16)
+            dst = (src + rng.randrange(1, 16)) % 16
+            mc = rng.choice(list(MessageClass))
+            net.send(Packet(src=src, dst=dst, msg_class=mc,
+                            created=net.cycle))
+            sent += 1
+            net.step()
+        net.drain(max_cycles=30000)
+        assert net.stats.packets_ejected == sent
+
+    def test_saturating_wraparound_traffic_is_deadlock_free(self):
+        """All-to-opposite traffic maximizes dateline crossings; the
+        two-layer VC scheme must keep the ring deadlock-free."""
+        net = build_ring(8)
+        sent = 0
+        for round_ in range(40):
+            for src in range(8):
+                dst = (src + 4) % 8
+                net.send(Packet(src=src, dst=dst,
+                                msg_class=MessageClass.RESPONSE,
+                                created=net.cycle))
+                sent += 1
+            net.run(3)
+        net.drain(max_cycles=60000)
+        assert net.stats.packets_ejected == sent
+
+
+class TestRingScaling:
+    def test_latency_scales_linearly_with_stops(self):
+        """The paper's Section II-B claim: ring delay grows linearly
+        with the number of interconnected components."""
+        import statistics
+
+        latencies = {}
+        hops = {}
+        for stops in (8, 16, 32):
+            net = build_ring(stops)
+            rng = random.Random(5)
+            for _ in range(60):
+                src = rng.randrange(stops)
+                dst = (src + rng.randrange(1, stops)) % stops
+                net.send(Packet(src=src, dst=dst,
+                                msg_class=MessageClass.REQUEST,
+                                created=net.cycle))
+                net.run(5)
+            net.drain(max_cycles=30000)
+            latencies[stops] = net.stats.avg_network_latency
+            hops[stops] = net.stats.avg_hops
+        # Doubling the stop count doubles the average distance; latency
+        # net of the fixed inject/eject overhead (~3 cycles) follows.
+        assert hops[16] > hops[8] * 1.7
+        assert hops[32] > hops[16] * 1.7
+        assert (latencies[16] - 3) > (latencies[8] - 3) * 1.6
+        assert (latencies[32] - 3) > (latencies[16] - 3) * 1.6

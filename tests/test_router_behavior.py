@@ -1,0 +1,108 @@
+"""Behavioral tests of router arbitration, blocking, and backpressure."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.noc.routing import xy_next_direction
+from repro.noc.topology import Direction
+from repro.params import MessageClass, NocKind
+from tests.helpers import assert_quiescent, make_network
+
+
+class TestArbitration:
+    def test_round_robin_shares_a_port(self):
+        """Two flows merging at one router should share the contended
+        output roughly evenly."""
+        net = make_network(NocKind.MESH, width=8, height=1)
+        # Flows from nodes 0 and 1 (via its NI) both heading east
+        # through node 1's east port.
+        done = {0: [], 1: []}
+        net.on_delivery(lambda p, now: done[p.src].append(now))
+        for i in range(30):
+            net.send(Packet(src=0, dst=7, msg_class=MessageClass.REQUEST,
+                            created=net.cycle))
+            net.send(Packet(src=1, dst=7, msg_class=MessageClass.COHERENCE,
+                            created=net.cycle))
+            net.run(2)
+        net.drain(max_cycles=5000)
+        assert len(done[0]) == len(done[1]) == 30
+        # Neither flow finishes wholesale before the other: interleaved
+        # service means the last arrivals are close together.
+        assert abs(max(done[0]) - max(done[1])) < 40
+
+    def test_wormhole_blocking_chains_backwards(self):
+        """When a multi-flit packet stalls, upstream links stall too
+        (wormhole), but independent VCs keep flowing."""
+        net = make_network(NocKind.MESH, width=8, height=1)
+        # Saturate node 6..7 with responses so buffers fill back.
+        for _ in range(12):
+            net.send(Packet(src=0, dst=7, msg_class=MessageClass.RESPONSE,
+                            created=net.cycle))
+        # Requests on their own VC should still make progress.
+        req = Packet(src=0, dst=7, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(req)
+        net.drain(max_cycles=10000)
+        assert req.ejected is not None
+        assert_quiescent(net)
+
+    def test_credit_backpressure_limits_inflight_flits(self):
+        """With the destination NI ejecting one flit per cycle, buffer
+        occupancy anywhere never exceeds VC capacity (credits hold)."""
+        net = make_network(NocKind.MESH, width=4, height=1)
+        for _ in range(20):
+            net.send(Packet(src=0, dst=3, msg_class=MessageClass.RESPONSE,
+                            created=net.cycle))
+        for _ in range(40):
+            net.step()
+            for router in net.routers:
+                for unit in router.input_units.values():
+                    for vc in unit.vcs:
+                        assert vc.occupancy <= vc.capacity
+        net.drain(max_cycles=5000)
+        assert_quiescent(net)
+
+
+class TestSmartBypass:
+    def test_bypass_denied_when_local_candidate_waits(self):
+        """Local flits have priority over SSRs: a packet buffered at the
+        intermediate router kills the bypass."""
+        net = make_network(NocKind.SMART, width=8, height=1)
+        # A local packet at node 1 wants east.
+        local = Packet(src=1, dst=7, msg_class=MessageClass.REQUEST,
+                       created=net.cycle)
+        net.send(local)
+        # A through packet from node 0 would bypass node 1.
+        through = Packet(src=0, dst=7, msg_class=MessageClass.REQUEST,
+                         created=net.cycle)
+        net.send(through)
+        net.drain(max_cycles=500)
+        # Both delivered; the through packet stopped at node 1 at least
+        # once (its head cannot have covered the path purely in 2-hop
+        # jumps: 7 hops with a contested first bypass).
+        assert local.ejected is not None and through.ejected is not None
+
+    def test_bypass_works_on_idle_straight_path(self):
+        net = make_network(NocKind.SMART, width=8, height=1)
+        pkt = Packet(src=0, dst=6, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=200)
+        # 6 hops: stops at 0, 2, 4 (bypassing 1, 3, 5) = 3 stops of 3
+        # cycles; vs 6 stops without bypass.  Latency must reflect
+        # multi-hop traversal: below the no-bypass bound.
+        no_bypass_bound = 2 + 6 * 3 + 2
+        assert pkt.network_latency() < no_bypass_bound
+
+
+class TestIdealBounds:
+    @pytest.mark.parametrize("dst,hops", [(1, 1), (3, 3), (7, 7)])
+    def test_latency_lower_bound(self, dst, hops):
+        """Ideal latency >= ceil(hops / 2) move cycles + ejection."""
+        net = make_network(NocKind.IDEAL, width=8, height=1)
+        pkt = Packet(src=0, dst=dst, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        lower = -(-hops // 2) + 1
+        assert pkt.network_latency() >= lower

@@ -1,0 +1,123 @@
+"""Tests for the SMART and Ideal network organizations."""
+
+import random
+
+import pytest
+
+from repro.noc.network import build_network
+from repro.noc.packet import Packet
+from repro.params import MessageClass, NocKind, NocParams
+
+
+def make_net(kind, width=4, height=4):
+    return build_network(NocParams(kind=kind, mesh_width=width, mesh_height=height))
+
+
+class TestSmart:
+    def test_single_packet_delivery(self):
+        net = make_net(NocKind.SMART)
+        pkt = Packet(src=0, dst=15, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=300)
+        assert pkt.ejected is not None
+        assert pkt.hops_taken == 6
+
+    def test_zero_load_straight_line_uses_bypass(self):
+        """0 -> 3 on a 4x4 is 3 straight hops: SMART stops at routers 0
+        and 2 (bypassing 1), each stop costing 3 cycles."""
+        net = make_net(NocKind.SMART)
+        pkt = Packet(src=0, dst=3, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        # injection visible at router0 at t+2; grant t+2; traverse t+4
+        # (2 tiles) visible at router2 at t+5; grant t+5; traverse t+7,
+        # visible at router3 at t+8; eject grant t+8, NI at t+11.
+        mesh = make_net(NocKind.MESH)
+        pkt_m = Packet(src=0, dst=3, msg_class=MessageClass.REQUEST,
+                       created=mesh.cycle)
+        mesh.send(pkt_m)
+        mesh.drain(max_cycles=100)
+        # SMART should not be slower than mesh by more than the extra
+        # pipeline stages, and must traverse fewer router stops.
+        assert pkt.network_latency() <= pkt_m.network_latency() + 2
+
+    def test_turn_stops_bypass(self):
+        net = make_net(NocKind.SMART)
+        # 0 -> 5: one hop east, one hop south; no straight pair exists.
+        pkt = Packet(src=0, dst=5, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=100)
+        assert pkt.hops_taken == 2
+
+    def test_multi_flit_intact_under_bypass(self):
+        net = make_net(NocKind.SMART)
+        pkt = Packet(src=0, dst=3, msg_class=MessageClass.RESPONSE,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=200)
+        assert net.stats.flits_ejected == 5
+
+    def test_many_random_packets_all_delivered(self):
+        rng = random.Random(11)
+        net = make_net(NocKind.SMART)
+        for _ in range(150):
+            src = rng.randrange(16)
+            dst = (src + rng.randrange(1, 16)) % 16
+            mc = rng.choice(list(MessageClass))
+            net.send(Packet(src=src, dst=dst, msg_class=mc, created=net.cycle))
+            net.step()
+        net.drain(max_cycles=10000)
+        assert net.stats.packets_ejected == 150
+
+
+class TestIdeal:
+    def test_single_packet_two_hops_per_cycle(self):
+        net = make_net(NocKind.IDEAL)
+        pkt = Packet(src=0, dst=3, msg_class=MessageClass.REQUEST,
+                     created=net.cycle)
+        net.send(pkt)
+        net.drain(max_cycles=50)
+        # injected when visible at the source node; two move cycles
+        # (2 hops then 1 hop) land the head at the destination, ejection
+        # to the NI takes one more cycle: latency = 3.
+        assert pkt.network_latency() == 3
+        assert pkt.hops_taken == 3
+
+    def test_ideal_faster_than_mesh(self):
+        results = {}
+        for kind in (NocKind.MESH, NocKind.IDEAL):
+            net = make_net(kind, width=8, height=8)
+            pkt = Packet(src=0, dst=63, msg_class=MessageClass.RESPONSE,
+                         created=net.cycle)
+            net.send(pkt)
+            net.drain(max_cycles=300)
+            results[kind] = pkt.network_latency()
+        assert results[NocKind.IDEAL] < results[NocKind.MESH] / 2
+
+    def test_contention_serializes_shared_link(self):
+        net = make_net(NocKind.IDEAL)
+        # Two 5-flit packets over the same links 0 -> 3.
+        p1 = Packet(src=0, dst=3, msg_class=MessageClass.RESPONSE,
+                    created=net.cycle)
+        p2 = Packet(src=0, dst=3, msg_class=MessageClass.RESPONSE,
+                    created=net.cycle)
+        net.send(p1)
+        net.send(p2)
+        net.drain(max_cycles=100)
+        lat = sorted([p1.network_latency(), p2.network_latency()])
+        assert lat[1] >= lat[0] + 5  # second waits for the flit window
+
+    def test_many_random_packets_all_delivered(self):
+        rng = random.Random(13)
+        net = make_net(NocKind.IDEAL)
+        for _ in range(200):
+            src = rng.randrange(16)
+            dst = (src + rng.randrange(1, 16)) % 16
+            mc = rng.choice(list(MessageClass))
+            net.send(Packet(src=src, dst=dst, msg_class=mc, created=net.cycle))
+            net.step()
+        net.drain(max_cycles=10000)
+        assert net.stats.packets_ejected == 200

@@ -1,0 +1,72 @@
+"""Tests for the extended statistics: percentiles, histograms, link use."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.packet import Packet
+from repro.noc.stats import NetworkStats, _percentile
+from repro.params import MessageClass, NocKind
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+from tests.helpers import make_network
+
+
+class TestPercentiles:
+    def test_basic(self):
+        assert _percentile([1, 2, 3, 4, 5], 0.0) == 1
+        assert _percentile([1, 2, 3, 4, 5], 1.0) == 5
+        assert _percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _percentile([1], 1.5)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_is_element_and_monotone(self, values, frac):
+        p = _percentile(values, frac)
+        assert p in [float(v) for v in values]
+        assert _percentile(values, 0.0) <= p <= _percentile(values, 1.0)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        stats = NetworkStats()
+        stats.network_latencies = [1, 2, 5, 6, 7, 13]
+        hist = stats.latency_histogram(bucket=4)
+        assert hist == {0: 2, 4: 3, 12: 1}
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            NetworkStats().latency_histogram(bucket=0)
+
+    def test_percentile_accessor(self):
+        stats = NetworkStats()
+        stats.network_latencies = list(range(1, 101))
+        assert stats.latency_percentile(0.99) >= 98
+
+
+class TestLinkUtilization:
+    def test_idle_network_zero(self):
+        net = make_network(NocKind.MESH)
+        net.run(10)
+        assert net.link_utilization() == 0.0
+
+    def test_grows_with_load(self):
+        lo = make_network(NocKind.MESH)
+        hi = make_network(NocKind.MESH)
+        SyntheticTraffic(lo, TrafficPattern.UNIFORM_RANDOM, 0.005,
+                         seed=1).run(800)
+        SyntheticTraffic(hi, TrafficPattern.UNIFORM_RANDOM, 0.03,
+                         seed=1).run(800)
+        assert 0.0 < lo.link_utilization() < hi.link_utilization() < 1.0
+
+    def test_ideal_network_tracks_utilization(self):
+        net = make_network(NocKind.IDEAL)
+        SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, 0.02,
+                         seed=2).run(500)
+        assert net.link_utilization() > 0.0

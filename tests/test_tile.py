@@ -1,0 +1,166 @@
+"""Tests for the tiled-CMP substrate: address map, caches, LLC, memory."""
+
+import pytest
+
+from repro.params import ChipParams, MessageClass, NocKind, default_chip
+from repro.tile.address import block_of, home_slice, memory_channel, BLOCK_BYTES
+from repro.tile.cache import SetAssociativeCache
+from repro.tile.chip import Chip
+from repro.tile.directory import DirectorySlice
+from repro.tile.llc import Transaction
+from repro.tile.memory import MemoryChannel
+from repro.params import MemoryParams
+
+
+class TestAddress:
+    def test_block_of(self):
+        assert block_of(0) == 0
+        assert block_of(BLOCK_BYTES - 1) == 0
+        assert block_of(BLOCK_BYTES) == 1
+
+    def test_home_slice_interleaving(self):
+        homes = [home_slice(b * BLOCK_BYTES, 64) for b in range(128)]
+        assert homes[:64] == list(range(64))
+        assert homes[64:] == list(range(64))
+
+    def test_memory_channel_range(self):
+        for b in range(100):
+            assert 0 <= memory_channel(b * BLOCK_BYTES, 4) < 4
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            block_of(-1)
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        c = SetAssociativeCache(size_bytes=8192, ways=4)
+        assert not c.lookup(0x1000)
+        c.fill(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_lru_eviction(self):
+        c = SetAssociativeCache(size_bytes=4 * 64, ways=4)  # one set
+        addrs = [i * 64 for i in range(5)]
+        for a in addrs[:4]:
+            c.fill(a)
+        c.lookup(addrs[0])  # freshen the first block
+        evicted = c.fill(addrs[4])
+        assert evicted == block_of(addrs[1])  # LRU was block 1
+        assert c.contains(addrs[0])
+
+    def test_occupancy_bounded(self):
+        c = SetAssociativeCache(size_bytes=2048, ways=2)
+        for i in range(1000):
+            c.fill(i * 64)
+        assert c.occupancy <= 2048 // 64
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1000, ways=3)
+
+    def test_hit_ratio_statistics(self):
+        c = SetAssociativeCache(size_bytes=8192, ways=4)
+        c.fill(0)
+        c.lookup(0)
+        c.lookup(64 * 1024)
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_ratio == 0.5
+
+
+class TestDirectory:
+    def test_read_then_write_invalidates_sharers(self):
+        d = DirectorySlice(node=0)
+        d.record_read(100, requester=1)
+        d.record_read(100, requester=2)
+        to_inv = d.record_write(100, requester=3)
+        assert sorted(to_inv) == [1, 2]
+        assert d.sharers_of(100) == {3}
+
+    def test_write_by_sharer_excludes_self(self):
+        d = DirectorySlice(node=0)
+        d.record_read(5, requester=7)
+        assert d.record_write(5, requester=7) == []
+
+    def test_bounded_tracking(self):
+        d = DirectorySlice(node=0, max_tracked=10)
+        for b in range(100):
+            d.record_read(b, requester=0)
+        assert d.tracked_blocks <= 10
+
+
+class TestMemoryChannel:
+    def test_deterministic_completion(self):
+        events = []
+
+        def scheduler(time, fn, *args):
+            events.append((time, fn, args))
+
+        ch = MemoryChannel(0, MemoryParams(), scheduler)
+        done1 = ch.access(10, lambda t: None)
+        done2 = ch.access(10, lambda t: None)
+        assert done1 == 11 + MemoryParams().access_cycles
+        # Second access waits for the channel service interval.
+        assert done2 == done1 + MemoryParams().service_cycles
+
+
+class TestChip:
+    def test_remote_request_completes(self):
+        chip = Chip(default_chip(NocKind.MESH), llc_hit_ratio=1.0, seed=1)
+        done = []
+        chip.on_complete = lambda txn, now: done.append((txn, now))
+        txn = Transaction(core_node=0, addr=5 * 64, is_instruction=True)
+        chip.issue(txn)
+        chip.run(200)
+        assert len(done) == 1
+        assert done[0][0].llc_hit is True
+        assert done[0][0].latency > 0
+
+    def test_local_request_never_uses_network(self):
+        chip = Chip(default_chip(NocKind.MESH), llc_hit_ratio=1.0, seed=1)
+        done = []
+        chip.on_complete = lambda txn, now: done.append(txn)
+        txn = Transaction(core_node=3, addr=3 * 64, is_instruction=False)
+        assert home_slice(txn.addr, 64) == 3
+        chip.issue(txn)
+        chip.run(100)
+        assert len(done) == 1
+        assert chip.network.stats.packets_injected == 0
+
+    def test_miss_goes_to_memory(self):
+        chip = Chip(default_chip(NocKind.MESH), llc_hit_ratio=0.0, seed=1)
+        done = []
+        chip.on_complete = lambda txn, now: done.append(txn)
+        txn = Transaction(core_node=0, addr=9 * 64, is_instruction=False)
+        chip.issue(txn)
+        chip.run(400)
+        assert len(done) == 1
+        assert done[0].llc_hit is False
+        assert done[0].latency > chip.params.memory.access_cycles
+        assert sum(c.accesses for c in chip.channels) == 1
+
+    def test_write_generates_coherence(self):
+        chip = Chip(default_chip(NocKind.MESH), llc_hit_ratio=1.0, seed=1)
+        chip.on_complete = lambda txn, now: None
+        addr = 17 * 64
+        # Two readers register as sharers, then a third core writes.
+        for reader in (1, 2):
+            chip.issue(Transaction(core_node=reader, addr=addr,
+                                   is_instruction=False))
+        chip.run(100)
+        chip.issue(Transaction(core_node=5, addr=addr, is_instruction=False,
+                               is_write=True))
+        chip.run(100)
+        assert chip.coherence_sent == 2
+
+    def test_detailed_llc_mode(self):
+        chip = Chip(default_chip(NocKind.MESH), detailed_llc=True, seed=1)
+        done = []
+        chip.on_complete = lambda txn, now: done.append(txn)
+        addr = 8 * 64
+        chip.issue(Transaction(core_node=0, addr=addr, is_instruction=False))
+        chip.run(400)
+        assert done[0].llc_hit is False  # cold cache
+        chip.issue(Transaction(core_node=0, addr=addr, is_instruction=False))
+        chip.run(400)
+        assert done[1].llc_hit is True  # filled by the first miss

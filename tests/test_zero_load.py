@@ -1,0 +1,53 @@
+"""Validation of the per-organization timing rules (Table I)."""
+
+import pytest
+
+from repro.harness import zero_load_table
+from repro.params import NocKind
+from repro.perf.system import simulate
+
+
+class TestZeroLoadTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return zero_load_table(max_hops=7)
+
+    def test_mesh_two_cycles_per_hop(self, table):
+        rows = {int(r[0]): r for r in table["rows"]}
+        # Column 1 is Mesh; consecutive hop counts add exactly 2 cycles.
+        for hops in range(2, 8):
+            assert rows[hops][1] - rows[hops - 1][1] == 2
+
+    def test_smart_three_cycles_per_stop(self, table):
+        rows = {int(r[0]): r for r in table["rows"]}
+        # SMART covers 2 hops per 3-cycle stop: equal-latency hop pairs.
+        assert rows[1][2] == rows[2][2]
+        assert rows[3][2] == rows[4][2]
+        assert rows[3][2] - rows[1][2] == 3
+
+    def test_ideal_two_hops_per_cycle(self, table):
+        rows = {int(r[0]): r for r in table["rows"]}
+        assert rows[1][4] == rows[2][4]
+        assert rows[3][4] - rows[1][4] == 1
+
+    def test_pra_response_tracks_ideal_shape(self, table):
+        rows = {int(r[0]): r for r in table["rows"]}
+        # The announced response advances two tiles per cycle: going
+        # from 5 to 7 hops costs one extra cycle, as on the ideal net.
+        assert rows[7][3] - rows[5][3] == 1
+        # And it beats the mesh by a widening margin.
+        assert (rows[7][1] - rows[7][3]) > (rows[3][1] - rows[3][3])
+
+
+class TestPerfSampleSerialization:
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        sample = simulate("MapReduce", NocKind.MESH_PRA, warmup=100,
+                          measure=600, seed=1)
+        data = sample.to_dict()
+        text = json.dumps(data)
+        back = json.loads(text)
+        assert back["workload"] == "MapReduce"
+        assert back["noc"] == "mesh+pra"
+        assert back["ipc"] == pytest.approx(sample.ipc)
