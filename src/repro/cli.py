@@ -4,8 +4,12 @@ Commands:
 
 * ``figures [--scale S] [--only fig6,...] [--json PATH]`` — reproduce
   the paper's tables/figures and print them;
-* ``simulate WORKLOAD [--noc KIND] [--warmup N] [--measure N] [--seed N]``
-  — one full-system run with diagnostics;
+* ``simulate WORKLOAD [--noc KIND] [--warmup N] [--measure N] [--seed N]
+  [--trace PATH]`` — one full-system run with diagnostics (and
+  optionally a JSONL event trace);
+* ``trace --workload W [--noc KIND] [--cycles N] [--packet PID]
+  [--out PATH]`` — run with cycle-level event tracing and reconstruct a
+  per-packet timeline (a planned response by default);
 * ``sweep [--noc KIND] [--pattern P] [--rates ...]`` — open-loop
   load-latency curves under synthetic traffic;
 * ``area`` / ``power`` — the analytic physical models;
@@ -47,7 +51,10 @@ _FIGURES = {
     "zeroload": lambda scale: zero_load_table(),
 }
 
+#: CLI spellings of the NoC kinds: the canonical value plus an
+#: underscore alias for the '+' (shell-friendlier, e.g. ``mesh_pra``).
 _NOC_KINDS = {k.value: k for k in NocKind}
+_NOC_KINDS.update({k.value.replace("+", "_"): k for k in NocKind})
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -75,12 +82,36 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workload_arg(name: str) -> Optional[str]:
+    """Canonical workload name, or None (with a message) on a typo."""
+    from repro.workloads.profiles import resolve_workload
+
+    try:
+        return resolve_workload(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.perf.system import simulate
 
+    workload = _resolve_workload_arg(args.workload)
+    if workload is None:
+        return 2
     kind = _NOC_KINDS[args.noc]
-    sample = simulate(args.workload, kind, warmup=args.warmup,
-                      measure=args.measure, seed=args.seed)
+    tracer = None
+    if args.trace:
+        from repro.trace import RingTracer
+
+        tracer = RingTracer()
+    sample = simulate(workload, kind, warmup=args.warmup,
+                      measure=args.measure, seed=args.seed, tracer=tracer)
+    if tracer is not None:
+        written = tracer.write_jsonl(args.trace)
+        print(f"trace:                {written} events -> {args.trace}"
+              + (f" ({tracer.dropped} older events evicted)"
+                 if tracer.dropped else ""))
     print(f"workload:             {sample.workload}")
     print(f"organization:         {kind.value}")
     print(f"aggregate IPC:        {sample.ipc:.2f}")
@@ -92,6 +123,59 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               + ", ".join(f"lag{k}={v:.0%}"
                           for k, v in sorted(sample.lag_distribution.items())))
         print(f"blocked fraction:     {sample.pra_blocked_fraction:.3%}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.perf.system import SystemSimulator
+    from repro.trace import (
+        RingTracer,
+        delivered_pids,
+        planned_pids,
+        reconstruct,
+    )
+    workload = _resolve_workload_arg(args.workload)
+    if workload is None:
+        return 2
+    kind = _NOC_KINDS[args.noc]
+    window = (args.warmup, args.warmup + args.cycles)
+    tracer = RingTracer(
+        capacity=args.capacity,
+        pids=[args.packet] if args.packet is not None else None,
+        cycle_window=window,
+    )
+    sim = SystemSimulator(workload, kind, seed=args.seed)
+    sim.chip.network.attach_tracer(tracer)
+    sim.run_sample(warmup=args.warmup, measure=args.cycles)
+    written = tracer.write_jsonl(args.out)
+    print(f"traced {workload} on {kind.value}: cycles "
+          f"[{window[0]}, {window[1]}), {written} events -> {args.out}")
+    if tracer.dropped:
+        print(f"note: ring bound evicted {tracer.dropped} older events "
+              f"(raise --capacity to keep more)")
+    counts = tracer.kind_counts()
+    for kind_name in sorted(counts):
+        print(f"  {kind_name:<20} {counts[kind_name]}")
+    events = tracer.events()
+    if args.packet is not None:
+        pid = args.packet
+    else:
+        # Show the most informative timeline: among planned packets
+        # delivered inside the window, the one with the longest
+        # pre-allocated stretch (responses planned from the LLC-hit
+        # window typically win over single-step LSD plans).
+        planned = planned_pids(events) & delivered_pids(events)
+        pid = max(
+            planned,
+            key=lambda p: len(reconstruct(events, p).plan_sequence()),
+            default=None,
+        )
+    if pid is None:
+        print("\nno planned packet was delivered inside the traced "
+              "window; pass --packet PID or widen --cycles")
+        return 0
+    print()
+    print(reconstruct(events, pid).render())
     return 0
 
 
@@ -159,7 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=1000)
     p.add_argument("--measure", type=int, default=5000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also write a JSONL event trace of the run")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "trace",
+        help="run with cycle-level event tracing and reconstruct a "
+             "per-packet timeline",
+    )
+    p.add_argument("--workload", required=True,
+                   help="workload name or alias (e.g. 'web')")
+    p.add_argument("--noc", default="mesh_pra", choices=sorted(_NOC_KINDS))
+    p.add_argument("--cycles", type=int, default=200,
+                   help="length of the traced cycle window")
+    p.add_argument("--warmup", type=int, default=200,
+                   help="untraced warm-up cycles before the window")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--packet", type=int, default=None, metavar="PID",
+                   help="trace and reconstruct only this packet id")
+    p.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                   help="JSONL output path (default: trace.jsonl)")
+    p.add_argument("--capacity", type=int, default=1 << 17,
+                   help="ring-buffer bound on captured events")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("sweep", help="synthetic load-latency sweep")
     p.add_argument("--noc", default=None, choices=sorted(_NOC_KINDS))

@@ -25,7 +25,7 @@ prioritized input latches of the hardware.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.core.plan import (
     LAND_LATCH,
@@ -40,6 +40,12 @@ from repro.core.reservation import ReservationEntry
 from repro.noc.packet import Packet
 from repro.noc.routing import xy_route
 from repro.noc.topology import Direction
+from repro.trace.events import (
+    EV_CONTROL_DROP,
+    EV_CONTROL_INJECT,
+    EV_CONTROL_SEGMENT,
+    EV_RESERVATION_COMMIT,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pra_network import PraNetwork
@@ -105,10 +111,14 @@ class ControlNetwork:
         self.network = network
         self.params = network.params.pra
         self.stats = network.stats
-        #: Multi-drop media and injection-latch claims:
-        #: (node, direction-or-"inject", cycle) -> claimed.
-        self._media: Dict[Tuple[int, object, int], bool] = {}
-        self._last_purge = 0
+        #: Multi-drop media and injection-latch claims, bucketed per
+        #: cycle: cycle -> {(node, direction-or-"inject"), ...}.  Buckets
+        #: are popped as cycles pass, so claims for past cycles are
+        #: unreachable and the structure stays bounded by the claim
+        #: horizon regardless of run length.
+        self._media: Dict[int, Set[Tuple[int, object]]] = {}
+        #: First cycle whose bucket has not been purged yet.
+        self._purge_floor = 0
 
     # -- injection ----------------------------------------------------------
 
@@ -135,10 +145,15 @@ class ControlNetwork:
         if lag < 1:
             return None  # nothing left to pre-allocate
         lag = min(lag, self.params.max_lag)
+        tracer = self.network.tracer
         if not self._claim(source_node, "inject", process_at):
             # The local latch is busy: the packet never enters the
             # control network (it is not counted as injected).
             self.stats.control_injection_conflicts += 1
+            if tracer.enabled:
+                tracer.emit(now, EV_CONTROL_INJECT, pid=packet.pid,
+                            node=source_node, accepted=False,
+                            trigger=trigger)
             return None
         route = xy_route(self.network.topology, source_node, packet.dst)
         run = ControlRun(
@@ -153,6 +168,10 @@ class ControlNetwork:
         )
         packet.pra_pending = True
         self.stats.control_packets_injected += 1
+        if tracer.enabled:
+            tracer.emit(now, EV_CONTROL_INJECT, pid=packet.pid,
+                        node=source_node, accepted=True, trigger=trigger,
+                        lag=lag, start_slot=start_slot, dst=packet.dst)
         self.network.schedule_call(process_at, self._process, run)
         return run
 
@@ -164,7 +183,7 @@ class ControlNetwork:
             # The data packet missed its window and the plan was torn
             # down while this control packet was still in flight; any
             # further reservation would leak claims.  Drop.
-            self._record_drop(max(run.lag, 0), DROP_RESOURCE_BUSY)
+            self._record_drop(max(run.lag, 0), DROP_RESOURCE_BUSY, run)
             return
         node, direction = run.route[run.pos]
         if direction is Direction.LOCAL:
@@ -178,18 +197,25 @@ class ControlNetwork:
         run.entry_dir = direction.opposite
         run.next_slot += 1
         run.lag -= 1
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(now, EV_CONTROL_SEGMENT, pid=run.packet.pid,
+                        node=node, direction=direction.name, hops=hops,
+                        slot=run.next_slot - 1, lag=run.lag)
         if run.lag <= 0:
             self._finish(run, DROP_LAG_ZERO)
             return
         # Transmit over the next multi-drop segment: the receivers' input
         # latches are claimed; on conflict the packet is dropped there.
+        # Both latch claims of a 2-hop segment must succeed together —
+        # committing one before checking the other would leak a claim
+        # that later drops an unrelated control packet with a spurious
+        # conflict at that (node, direction, cycle).
         next_time = now + SEGMENT_CYCLES
-        next_node = run.route[run.pos][0]
-        claims_ok = self._claim(next_node, direction, next_time)
+        keys = [(run.route[run.pos][0], direction, next_time)]
         if hops == 2:
-            via_node = run.route[run.pos - 1][0]
-            claims_ok = claims_ok and self._claim(via_node, direction, next_time)
-        if not claims_ok:
+            keys.append((run.route[run.pos - 1][0], direction, next_time))
+        if not self._claim_all(keys):
             self._finish(run, DROP_CONTROL_CONFLICT)
             return
         self.network.schedule_call(next_time, self._process, run)
@@ -297,6 +323,14 @@ class ControlNetwork:
                 )
                 via_router.claim_input(direction.opposite, slot + i, run.plan)
         run.plan.claim_landing_vc(landing_port, vc_index)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_RESERVATION_COMMIT, pid=run.packet.pid, node=node,
+                direction=direction.name, slot=slot, size=size, hops=hops,
+                via=step.via_node, landing=landing_node,
+                landing_kind=step.landing_kind,
+            )
         return True
 
     def _reserve_ejection(self, run: ControlRun, node: int, now: int) -> None:
@@ -344,6 +378,13 @@ class ControlNetwork:
                 slot + i, ReservationEntry(run.plan, step, i, is_driver=True)
             )
             driver.claim_input(src_dir, slot + i, run.plan)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_RESERVATION_COMMIT, pid=run.packet.pid, node=node,
+                direction=Direction.LOCAL.name, slot=slot, size=size,
+                hops=1, via=None, landing=node, landing_kind=LAND_NI,
+            )
         run.lag -= 1
         self._finish(run, DROP_REACHED_DESTINATION)
 
@@ -406,11 +447,30 @@ class ControlNetwork:
         ni.pin(run.packet, run.plan)
 
     def _claim(self, node: int, key, cycle: int) -> bool:
-        media_key = (node, key, cycle)
-        if media_key in self._media:
+        bucket = self._media.get(cycle)
+        media_key = (node, key)
+        if bucket is None:
+            self._media[cycle] = {media_key}
+            return True
+        if media_key in bucket:
             return False
-        self._media[media_key] = True
+        bucket.add(media_key)
         return True
+
+    def _claim_all(self, keys: Sequence[Tuple[int, object, int]]) -> bool:
+        """Claim every (node, key, cycle) or none (check, then commit)."""
+        for node, key, cycle in keys:
+            bucket = self._media.get(cycle)
+            if bucket is not None and (node, key) in bucket:
+                return False
+        for node, key, cycle in keys:
+            self._media.setdefault(cycle, set()).add((node, key))
+        return True
+
+    def claimed(self, node: int, key, cycle: int) -> bool:
+        """Is this (node, key, cycle) media slot currently claimed?"""
+        bucket = self._media.get(cycle)
+        return bucket is not None and (node, key) in bucket
 
     def _append_step(self, run: ControlRun, step: PlanStep) -> None:
         """Commit a step; the packet adopts the plan at its first step
@@ -425,20 +485,31 @@ class ControlNetwork:
         """The control packet is dropped (every control packet ends in a
         drop); record Figure 7's lag-at-drop and settle the plan."""
         lag = max(run.lag, 0)
-        self._record_drop(lag, reason)
+        self._record_drop(lag, reason, run)
         if not run.plan.steps:
             run.plan.cancel()
             run.packet.pra_pending = False
 
-    def _record_drop(self, lag: int, reason: str) -> None:
+    def _record_drop(self, lag: int, reason: str,
+                     run: Optional[ControlRun] = None) -> None:
         self.stats.control_lag_at_drop[lag] += 1
         self.stats.control_drop_reasons[reason] += 1
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.cycle, EV_CONTROL_DROP,
+                pid=run.packet.pid if run is not None else None,
+                node=(run.route[min(run.pos, len(run.route) - 1)][0]
+                      if run is not None else None),
+                reason=reason, lag=lag,
+                steps=len(run.plan.steps) if run is not None else 0,
+            )
 
     def purge(self, now: int) -> None:
-        """Drop stale media claims (called periodically)."""
-        if now - self._last_purge < 64:
-            return
-        self._last_purge = now
-        stale = [k for k in self._media if k[2] < now]
-        for key in stale:
-            del self._media[key]
+        """Pop media-claim buckets for cycles that have passed.
+
+        O(cycles advanced) instead of a scan over every live claim, and
+        afterwards no claim for a cycle ``< now`` is reachable."""
+        while self._purge_floor < now:
+            self._media.pop(self._purge_floor, None)
+            self._purge_floor += 1

@@ -105,6 +105,7 @@ class PraInterface(NetworkInterface):
                 return
         port.hold(packet, source_vc=None)
         packet.injected = now
+        self._trace_injection(packet, now)
         self._holder_next_flit = 0
         self._continue_holder(now)
 

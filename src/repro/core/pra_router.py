@@ -28,6 +28,7 @@ from repro.noc.ports import OutputPort
 from repro.noc.router import CREDIT_DELAY, PORT_ORDER, MeshRouter
 from repro.noc.topology import Direction
 from repro.noc.vc import VirtualChannel
+from repro.trace.events import EV_LATCH_BYPASS
 
 #: Sentinel VC index addressing an input unit's latch in arrivals.
 LATCH_INDEX = -1
@@ -199,6 +200,15 @@ class PraRouter(MeshRouter):
             via_router.output_ports[step.out_dir].flits_sent += 1
         if flit.is_head:
             packet.hops_taken += step.hops
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_LATCH_BYPASS, pid=packet.pid, node=self.node,
+                direction=step.out_dir.name, hops=step.hops,
+                via=step.via_node, flit=flit.index,
+                source=step.source_kind, landing=step.landing_node,
+                landing_kind=step.landing_kind,
+            )
         self._deliver_to_landing(step, plan, flit, now)
         if flit.is_tail and step is plan.steps[-1]:
             # The whole pre-allocated stretch has been traversed.

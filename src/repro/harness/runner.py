@@ -108,14 +108,30 @@ def evaluation_grid(
 
 
 def _merge(samples) -> PerfSample:
+    """Combine per-seed samples into one, weighting every latency and
+    distribution statistic by its own sample count.
+
+    Averages of averages are only correct when each seed contributed
+    the same number of observations — which unequal drain behavior
+    makes false in practice.  Latencies weight by delivered packets
+    (the transaction-latency denominator tracks packet count), the
+    lag-at-drop distribution by each seed's control-packet count, and
+    the blocked fraction by each seed's total in-network time.
+    """
     if len(samples) == 1:
         return samples[0]
     first = samples[0]
     total_pkts = sum(s.packets for s in samples)
+    total_control = sum(s.control_packets for s in samples)
+    # Per-seed total network time reconstructs each fraction's true
+    # denominator: blocked_fraction = blocked_cycles / net_time.
+    net_times = [s.avg_network_latency * s.packets for s in samples]
+    total_net_time = sum(net_times)
     lag: Dict[int, float] = {}
     for s in samples:
+        weight = (s.control_packets / total_control) if total_control else 0.0
         for k, v in s.lag_distribution.items():
-            lag[k] = lag.get(k, 0.0) + v / len(samples)
+            lag[k] = lag.get(k, 0.0) + v * weight
     return PerfSample(
         workload=first.workload,
         noc_kind=first.noc_kind,
@@ -126,16 +142,16 @@ def _merge(samples) -> PerfSample:
             s.avg_network_latency * s.packets for s in samples
         ) / max(1, total_pkts),
         avg_transaction_latency=sum(
-            s.avg_transaction_latency for s in samples
-        ) / len(samples),
-        control_packets=sum(s.control_packets for s in samples),
-        control_per_data=(
-            sum(s.control_packets for s in samples) / max(1, total_pkts)
+            s.avg_transaction_latency * s.packets for s in samples
+        ) / max(1, total_pkts),
+        control_packets=total_control,
+        control_per_data=total_control / max(1, total_pkts),
+        lag_distribution=dict(sorted(lag.items())),
+        pra_blocked_fraction=(
+            sum(f * t for f, t in
+                zip((s.pra_blocked_fraction for s in samples), net_times))
+            / total_net_time if total_net_time else 0.0
         ),
-        lag_distribution=lag,
-        pra_blocked_fraction=sum(
-            s.pra_blocked_fraction for s in samples
-        ) / len(samples),
         flits_delivered=sum(s.flits_delivered for s in samples),
         total_hops=sum(s.total_hops for s in samples),
     )

@@ -20,6 +20,7 @@ from repro.noc.packet import Packet
 from repro.noc.ports import OutputPort
 from repro.noc.topology import Direction
 from repro.params import MessageClass, NUM_MESSAGE_CLASSES
+from repro.trace.events import EV_EJECT, EV_PACKET_INJECT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.network import Network
@@ -100,8 +101,18 @@ class NetworkInterface:
         downstream_vc.allocated_to = packet
         port.hold(packet, source_vc=None)
         packet.injected = now
+        self._trace_injection(packet, now)
         self._holder_next_flit = 0
         self._continue_holder(now)
+
+    def _trace_injection(self, packet: Packet, now: int) -> None:
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_PACKET_INJECT, pid=packet.pid, node=self.node,
+                dst=packet.dst, msg_class=packet.msg_class.name,
+                size=packet.size, planned=packet.pra_plan is not None,
+            )
 
     def _may_inject(self, packet: Packet, now: int) -> bool:
         """Hook: the PRA interface defers packets pinned for later slots."""
@@ -113,7 +124,14 @@ class NetworkInterface:
         if flit.is_head:
             self.network._head_arrived(flit.packet, now)
         if flit.is_tail:
-            self.network._deliver(flit.packet, now)
+            packet = flit.packet
+            tracer = self.network.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    now, EV_EJECT, pid=packet.pid, node=self.node,
+                    src=packet.src, hops=packet.hops_taken,
+                )
+            self.network._deliver(packet, now)
 
     def __repr__(self) -> str:
         return f"NetworkInterface(node={self.node})"

@@ -14,6 +14,7 @@ from repro.noc.stats import NetworkStats
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
 from repro.params import NocKind, NocParams
+from repro.trace.tracer import NULL_TRACER
 
 #: Signature of the packet delivery callback: (packet, cycle).
 DeliveryHandler = Callable[[Packet, int], None]
@@ -38,6 +39,19 @@ class Network:
         self._events: Dict[int, list] = {}
         self._delivery_handler: Optional[DeliveryHandler] = None
         self._head_handler: Optional[DeliveryHandler] = None
+        #: Event tracer; the null object keeps the hot path to a single
+        #: attribute check (see :mod:`repro.trace`).
+        self.tracer = NULL_TRACER
+
+    # -- tracing ----------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Start emitting lifecycle events into ``tracer``."""
+        self.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Stop tracing (restore the null tracer)."""
+        self.tracer = NULL_TRACER
 
     # -- client API -------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.noc.flit import Flit
 from repro.noc.packet import Packet
 from repro.noc.topology import Direction
 from repro.noc.vc import InputUnit, VirtualChannel
+from repro.trace.events import EV_LINK
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.router import BaseRouter
@@ -194,6 +195,17 @@ class OutputPort:
             self.holder_sent += 1
             if vc_index is None:
                 vc_index = self.held_dst_vc
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_LINK,
+                pid=flit.packet.pid,
+                node=self.router.node if self.router is not None
+                else flit.packet.src,
+                direction=self.direction.name,
+                flit=flit.index,
+                ni=self.router is None,
+            )
         if self.is_ejection:
             self.network.schedule_eject(now + 1, self.ni_sink, flit)
             return

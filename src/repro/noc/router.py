@@ -25,6 +25,12 @@ from repro.noc.ports import OutputPort
 from repro.noc.routing import xy_next_direction
 from repro.noc.topology import CARDINALS, Direction
 from repro.noc.vc import InputUnit, VirtualChannel
+from repro.trace.events import (
+    EV_SWITCH_GRANT,
+    EV_SWITCH_HOLD,
+    EV_SWITCH_RELEASE,
+    EV_VC_ALLOC,
+)
 
 #: Fixed port processing order inside a cycle.
 PORT_ORDER = (
@@ -54,7 +60,15 @@ class BaseRouter:
         self.output_ports: Dict[Direction, OutputPort] = {}
         #: Flits currently buffered in this router (early-exit counter).
         self.active_flits = 0
-        self._rr: Dict[Direction, int] = {d: 0 for d in PORT_ORDER}
+        #: Round-robin state per output direction: the (input direction,
+        #: vc index) key last granted, or None before the first grant.
+        #: Advancing relative to the previous *grant* (instead of a
+        #: monotonically increasing pointer indexed into a list whose
+        #: membership changes every cycle) is what makes arbitration
+        #: fair under churning candidate sets.
+        self._rr: Dict[Direction, Optional[Tuple[int, int]]] = {
+            d: None for d in PORT_ORDER
+        }
 
         self.input_units[Direction.LOCAL] = InputUnit(
             Direction.LOCAL, self.num_vcs, self.vc_depth
@@ -142,10 +156,23 @@ class BaseRouter:
     def _round_robin_pick(
         self, direction: Direction, candidates: List[VirtualChannel]
     ) -> VirtualChannel:
-        pointer = self._rr[direction]
+        """Grant the first candidate strictly after the last grantee in
+        cyclic (input direction, vc index) order.
+
+        The candidate list's membership changes every cycle, so the
+        pointer must be anchored to the previously granted *key*, not an
+        index into the list: an index-modulo scheme can starve a VC
+        indefinitely when membership oscillates.
+        """
         candidates.sort(key=lambda vc: (int(vc.unit.direction), vc.index))
-        choice = candidates[pointer % len(candidates)]
-        self._rr[direction] = pointer + 1
+        last = self._rr[direction]
+        choice = candidates[0]
+        if last is not None:
+            for vc in candidates:
+                if (int(vc.unit.direction), vc.index) > last:
+                    choice = vc
+                    break
+        self._rr[direction] = (int(choice.unit.direction), choice.index)
         return choice
 
     def __repr__(self) -> str:
@@ -180,15 +207,34 @@ class MeshRouter(BaseRouter):
             return
         front = vc.front()
         if front is None or front.packet is not port.held_by:
+            self._trace_hold(port, now, "awaiting_flit")
             return  # next flit still in flight from upstream
         if vc.unit.direction in used_inputs:
+            self._trace_hold(port, now, "input_busy")
             return
         if not port.has_credit_for(port.held_dst_vc):
+            self._trace_hold(port, now, "no_credit")
             return
         used_inputs.add(vc.unit.direction)
         flit = self._pop_and_send(port, vc, now)
         if flit.is_tail:
             port.release()
+            tracer = self.network.tracer
+            if tracer.enabled:
+                tracer.emit(now, EV_SWITCH_RELEASE, pid=flit.packet.pid,
+                            node=self.node, direction=port.direction.name)
+
+    def _trace_hold(self, port: OutputPort, now: int, reason: str) -> None:
+        """Record a held port that could not advance this cycle."""
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, EV_SWITCH_HOLD,
+                pid=port.held_by.pid if port.held_by is not None else None,
+                node=self.node,
+                direction=port.direction.name,
+                reason=reason,
+            )
 
     # -- head-flit allocation (RC + VA + speculative SA in one cycle) --------
 
@@ -227,10 +273,22 @@ class MeshRouter(BaseRouter):
         now: int,
         used_inputs: Set[Direction],
     ) -> None:
+        tracer = self.network.tracer
         if not port.is_ejection:
             port.downstream_vc(packet.vc_index).allocated_to = packet
+            if tracer.enabled:
+                tracer.emit(now, EV_VC_ALLOC, pid=packet.pid, node=self.node,
+                            direction=port.direction.name,
+                            vc=packet.vc_index)
         port.hold(packet, source_vc=vc)
+        if tracer.enabled:
+            tracer.emit(now, EV_SWITCH_GRANT, pid=packet.pid, node=self.node,
+                        direction=port.direction.name,
+                        input=vc.unit.direction.name, input_vc=vc.index)
         used_inputs.add(vc.unit.direction)
         flit = self._pop_and_send(port, vc, now)
         if flit.is_tail:
             port.release()
+            if tracer.enabled:
+                tracer.emit(now, EV_SWITCH_RELEASE, pid=packet.pid,
+                            node=self.node, direction=port.direction.name)

@@ -2,8 +2,11 @@
 
 The EXPERIMENTS.md gap analysis needs to know *where* latency goes:
 planned vs. unplanned responses, requests, and how far plans carry their
-packets.  :class:`PraProbe` attaches non-invasively to a network and
-collects exactly that, without perturbing simulation behavior.
+packets.  :class:`PraProbe` collects exactly that by subscribing to the
+network's trace-event stream (:mod:`repro.trace`): packet injections and
+ejections bound each latency, and reservation commits identify planned
+packets and plan lengths.  Observation never perturbs simulation
+behavior — the tracer only records.
 
 Example::
 
@@ -16,11 +19,22 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.noc.network import Network
-from repro.noc.packet import Packet
-from repro.params import MessageClass, NocKind
+from repro.params import MessageClass
+from repro.trace.events import (
+    EV_CONTROL_INJECT,
+    EV_EJECT,
+    EV_PACKET_INJECT,
+    EV_RESERVATION_COMMIT,
+    TraceEvent,
+)
+from repro.trace.tracer import RingTracer
+
+#: The probe only needs the stream, not retention; keep its private
+#: ring small so long probed runs stay cheap.
+_PROBE_RING_CAPACITY = 1024
 
 
 @dataclass
@@ -49,17 +63,92 @@ class LatencyReport:
         return sum(k * v for k, v in self.plan_lengths.items()) / total
 
 
-class PraProbe:
-    """Non-invasive observer of PRA plan construction and delivery."""
+def attribution_from_events(events) -> LatencyReport:
+    """Build a :class:`LatencyReport` from a finished trace (a list of
+    :class:`~repro.trace.events.TraceEvent` or a loaded JSONL trace).
 
-    def __init__(self, network: Network):
-        self.network = network
+    The offline twin of :class:`PraProbe`: the same attribution, derived
+    after the fact from an exported trace instead of a live stream.
+    """
+    sink = _AttributionSink()
+    for event in events:
+        sink.consume(event)
+    return sink.report()
+
+
+class _AttributionSink:
+    """Shared event-folding logic for live probes and offline traces."""
+
+    def __init__(self) -> None:
+        #: pid -> (injection cycle, message class name).
+        self._injected: Dict[int, Tuple[int, str]] = {}
         self._planned_pids: Set[int] = set()
         self._plan_lengths: Dict[int, int] = {}
         self._lat: Dict[str, List[int]] = {
             "planned": [], "unplanned": [], "request": [],
         }
+
+    def consume(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == EV_PACKET_INJECT:
+            self._injected[event.pid] = (
+                event.cycle, event.data.get("msg_class", "")
+            )
+        elif kind == EV_RESERVATION_COMMIT:
+            self._planned_pids.add(event.pid)
+            self._plan_lengths[event.pid] = (
+                self._plan_lengths.get(event.pid, 0) + 1
+            )
+        elif kind == EV_CONTROL_INJECT:
+            # A fresh control packet restarts the packet's plan-length
+            # count (a later run supersedes a cancelled earlier plan).
+            if event.data.get("accepted"):
+                self._plan_lengths[event.pid] = 0
+        elif kind == EV_EJECT:
+            info = self._injected.pop(event.pid, None)
+            if info is None:
+                return  # injected before the probed interval
+            injected_at, msg_class = info
+            latency = event.cycle - injected_at
+            if msg_class == MessageClass.RESPONSE.name:
+                bucket = ("planned" if event.pid in self._planned_pids
+                          else "unplanned")
+                self._lat[bucket].append(latency)
+            elif msg_class == MessageClass.REQUEST.name:
+                self._lat["request"].append(latency)
+
+    def report(self) -> LatencyReport:
+        def mean(xs: List[int]) -> float:
+            return sum(xs) / len(xs) if xs else 0.0
+
+        lengths: Dict[int, int] = {}
+        for pid, steps in self._plan_lengths.items():
+            if steps:
+                lengths[steps] = lengths.get(steps, 0) + 1
+        return LatencyReport(
+            planned_responses=len(self._lat["planned"]),
+            unplanned_responses=len(self._lat["unplanned"]),
+            requests=len(self._lat["request"]),
+            planned_response_latency=mean(self._lat["planned"]),
+            unplanned_response_latency=mean(self._lat["unplanned"]),
+            request_latency=mean(self._lat["request"]),
+            plan_lengths=lengths,
+        )
+
+
+class PraProbe:
+    """Live latency-attribution observer, fed by the network's tracer.
+
+    If the network already has a tracer attached, the probe subscribes
+    to it; otherwise it attaches a small private ring tracer.  Either
+    way the simulation's outcomes are untouched.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._sink = _AttributionSink()
         self._installed = False
+        self._own_tracer: Optional[RingTracer] = None
 
     @classmethod
     def attach(cls, network: Network) -> "PraProbe":
@@ -71,45 +160,20 @@ class PraProbe:
         if self._installed:
             raise RuntimeError("probe already installed")
         self._installed = True
-        self._orig_deliver = self.network._deliver
-        self.network._deliver = self._on_deliver  # type: ignore[assignment]
-        control = getattr(self.network, "control", None)
-        if control is not None:
-            self._orig_append = control._append_step
+        tracer = self.network.tracer
+        if not tracer.enabled:
+            tracer = RingTracer(capacity=_PROBE_RING_CAPACITY)
+            self.network.attach_tracer(tracer)
+            self._own_tracer = tracer
+        tracer.subscribe(self._sink.consume)
 
-            def traced_append(run, step, _orig=self._orig_append):
-                _orig(run, step)
-                self._planned_pids.add(run.packet.pid)
-                self._plan_lengths[run.packet.pid] = len(run.plan.steps)
-
-            control._append_step = traced_append
-
-    def _on_deliver(self, packet: Packet, now: int) -> None:
-        self._orig_deliver(packet, now)
-        latency = packet.network_latency()
-        if latency is None:
-            return
-        if packet.msg_class is MessageClass.RESPONSE:
-            if packet.pid in self._planned_pids:
-                self._lat["planned"].append(latency)
-            else:
-                self._lat["unplanned"].append(latency)
-        elif packet.msg_class is MessageClass.REQUEST:
-            self._lat["request"].append(latency)
+    def uninstall(self) -> None:
+        """Detach the probe's private tracer, if it attached one."""
+        if self._own_tracer is not None and (
+            self.network.tracer is self._own_tracer
+        ):
+            self.network.detach_tracer()
+        self._own_tracer = None
 
     def report(self) -> LatencyReport:
-        def mean(xs: List[int]) -> float:
-            return sum(xs) / len(xs) if xs else 0.0
-
-        lengths: Dict[int, int] = {}
-        for pid, steps in self._plan_lengths.items():
-            lengths[steps] = lengths.get(steps, 0) + 1
-        return LatencyReport(
-            planned_responses=len(self._lat["planned"]),
-            unplanned_responses=len(self._lat["unplanned"]),
-            requests=len(self._lat["request"]),
-            planned_response_latency=mean(self._lat["planned"]),
-            unplanned_response_latency=mean(self._lat["unplanned"]),
-            request_latency=mean(self._lat["request"]),
-            plan_lengths=lengths,
-        )
+        return self._sink.report()

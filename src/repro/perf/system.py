@@ -186,8 +186,15 @@ def simulate(
     measure: int = 10000,
     seed: int = 0,
     chip_params: Optional[ChipParams] = None,
+    tracer=None,
 ) -> PerfSample:
-    """One-call convenience wrapper: build, warm up, measure."""
+    """One-call convenience wrapper: build, warm up, measure.
+
+    Pass a :class:`~repro.trace.tracer.RingTracer` as ``tracer`` to
+    collect cycle-level lifecycle events over the whole run.
+    """
     sim = SystemSimulator(workload, noc_kind, chip_params=chip_params,
                           seed=seed)
+    if tracer is not None:
+        sim.chip.network.attach_tracer(tracer)
     return sim.run_sample(warmup=warmup, measure=measure)

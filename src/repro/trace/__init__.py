@@ -1,0 +1,76 @@
+"""Cycle-level event tracing: typed events, tracers, and timelines.
+
+The observability layer of the simulator.  A network's ``tracer``
+attribute is the :data:`~repro.trace.tracer.NULL_TRACER` by default
+(zero-cost apart from one guarded attribute check per emission site);
+attach a :class:`~repro.trace.tracer.RingTracer` to collect typed
+lifecycle events, export them as JSONL, and rebuild per-packet
+timelines with :func:`~repro.trace.timeline.reconstruct`.
+
+Example::
+
+    from repro.trace import RingTracer, reconstruct
+
+    net = build_network(NocParams(kind=NocKind.MESH_PRA))
+    tracer = RingTracer()
+    net.attach_tracer(tracer)
+    ...  # run traffic
+    tracer.write_jsonl("run.jsonl")
+    print(reconstruct("run.jsonl", pid=42).render())
+"""
+
+from repro.trace.events import (
+    ALL_KINDS,
+    EV_CONTROL_DROP,
+    EV_CONTROL_INJECT,
+    EV_CONTROL_SEGMENT,
+    EV_EJECT,
+    EV_LATCH_BYPASS,
+    EV_LINK,
+    EV_PACKET_INJECT,
+    EV_RESERVATION_COMMIT,
+    EV_SWITCH_GRANT,
+    EV_SWITCH_HOLD,
+    EV_SWITCH_RELEASE,
+    EV_VC_ALLOC,
+    PLAN_KINDS,
+    TraceEvent,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.trace.tracer import NULL_TRACER, NullTracer, RingTracer
+from repro.trace.timeline import (
+    PacketTimeline,
+    delivered_pids,
+    planned_pids,
+    reconstruct,
+    timelines_by_pid,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "PLAN_KINDS",
+    "EV_PACKET_INJECT",
+    "EV_LINK",
+    "EV_VC_ALLOC",
+    "EV_SWITCH_GRANT",
+    "EV_SWITCH_HOLD",
+    "EV_SWITCH_RELEASE",
+    "EV_EJECT",
+    "EV_CONTROL_INJECT",
+    "EV_CONTROL_SEGMENT",
+    "EV_CONTROL_DROP",
+    "EV_RESERVATION_COMMIT",
+    "EV_LATCH_BYPASS",
+    "TraceEvent",
+    "read_jsonl",
+    "write_jsonl",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingTracer",
+    "PacketTimeline",
+    "reconstruct",
+    "timelines_by_pid",
+    "planned_pids",
+    "delivered_pids",
+]

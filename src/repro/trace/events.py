@@ -1,0 +1,149 @@
+"""Typed lifecycle events emitted by the simulator's trace layer.
+
+One :class:`TraceEvent` is one observable step in the life of a data or
+control packet.  The kinds cover exactly the decision points the paper's
+latency-attribution argument depends on (allocation vs. traversal vs.
+blocking, Section III and Figure 7):
+
+===================== =====================================================
+kind                  emitted when
+===================== =====================================================
+``packet_inject``     a packet's head flit wins the NI's local port
+``link``              a flit is transmitted over an output port
+``vc_alloc``          a head flit is granted a downstream virtual channel
+``switch_grant``      a head flit wins packet-granular switch allocation
+``switch_hold``       a held port cannot advance this cycle (with reason)
+``switch_release``    a tail flit frees its output port
+``control_inject``    a control packet enters (or is refused by) the latch
+``control_segment``   a control packet finishes one multi-drop segment
+``control_drop``      a control packet terminates (with reason and lag)
+``reservation_commit``a plan step's timeslots/buffers are committed
+``latch_bypass``      a pre-allocated flit is driven along a plan step
+``eject``             a packet's tail flit reaches the destination NI
+===================== =====================================================
+
+Events are deliberately flat (cycle, kind, pid, node + a small payload
+dict) so they serialize to JSONL one line per event and reconstruct
+without any simulator state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Data-packet lifecycle.
+EV_PACKET_INJECT = "packet_inject"
+EV_LINK = "link"
+EV_VC_ALLOC = "vc_alloc"
+EV_SWITCH_GRANT = "switch_grant"
+EV_SWITCH_HOLD = "switch_hold"
+EV_SWITCH_RELEASE = "switch_release"
+EV_EJECT = "eject"
+
+#: Control-network lifecycle (Mesh+PRA only).
+EV_CONTROL_INJECT = "control_inject"
+EV_CONTROL_SEGMENT = "control_segment"
+EV_CONTROL_DROP = "control_drop"
+EV_RESERVATION_COMMIT = "reservation_commit"
+EV_LATCH_BYPASS = "latch_bypass"
+
+ALL_KINDS = (
+    EV_PACKET_INJECT,
+    EV_LINK,
+    EV_VC_ALLOC,
+    EV_SWITCH_GRANT,
+    EV_SWITCH_HOLD,
+    EV_SWITCH_RELEASE,
+    EV_EJECT,
+    EV_CONTROL_INJECT,
+    EV_CONTROL_SEGMENT,
+    EV_CONTROL_DROP,
+    EV_RESERVATION_COMMIT,
+    EV_LATCH_BYPASS,
+)
+
+#: Kinds that describe the construction and execution of a PRA plan;
+#: the subsequence a timeline's ``plan_sequence`` reports.
+PLAN_KINDS = (
+    EV_CONTROL_SEGMENT,
+    EV_RESERVATION_COMMIT,
+    EV_LATCH_BYPASS,
+)
+
+
+class TraceEvent:
+    """One timestamped observation; ``data`` holds kind-specific fields."""
+
+    __slots__ = ("cycle", "kind", "pid", "node", "data", "seq")
+
+    def __init__(
+        self,
+        cycle: int,
+        kind: str,
+        pid: Optional[int] = None,
+        node: Optional[int] = None,
+        data: Optional[Dict[str, Any]] = None,
+        seq: int = 0,
+    ):
+        self.cycle = cycle
+        self.kind = kind
+        self.pid = pid
+        self.node = node
+        self.data = data or {}
+        #: Emission order within the run; breaks same-cycle ties so a
+        #: reconstructed timeline preserves causal order.
+        self.seq = seq
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"cycle": self.cycle, "kind": self.kind,
+                               "seq": self.seq}
+        if self.pid is not None:
+            out["pid"] = self.pid
+        if self.node is not None:
+            out["node"] = self.node
+        if self.data:
+            out.update(self.data)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        record = dict(record)
+        cycle = record.pop("cycle")
+        kind = record.pop("kind")
+        seq = record.pop("seq", 0)
+        pid = record.pop("pid", None)
+        node = record.pop("node", None)
+        return cls(cycle, kind, pid=pid, node=node, data=record, seq=seq)
+
+    def __repr__(self) -> str:
+        extra = f" {self.data}" if self.data else ""
+        return (
+            f"TraceEvent(c={self.cycle}, {self.kind}, pid={self.pid}, "
+            f"node={self.node}{extra})"
+        )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Dump ``events`` one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(event.to_json())
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

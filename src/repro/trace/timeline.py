@@ -1,0 +1,147 @@
+"""Per-packet timeline reconstruction from trace events.
+
+A :class:`PacketTimeline` is the ordered lifecycle of one packet,
+rebuilt purely from :class:`~repro.trace.events.TraceEvent` records (a
+live ring buffer or a JSONL file) — no simulator state needed.  For a
+planned (PRA) response it recovers the exact control-segment →
+reservation-commit → latch-bypass sequence the control network built
+and the data packet then rode, which is the ground truth behind the
+paper's Figure 7 argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.trace.events import (
+    EV_CONTROL_DROP,
+    EV_CONTROL_INJECT,
+    EV_CONTROL_SEGMENT,
+    EV_EJECT,
+    EV_LATCH_BYPASS,
+    EV_PACKET_INJECT,
+    EV_RESERVATION_COMMIT,
+    PLAN_KINDS,
+    TraceEvent,
+    read_jsonl,
+)
+
+#: Kinds belonging to the control-packet lifecycle.
+CONTROL_KINDS = (
+    EV_CONTROL_INJECT,
+    EV_CONTROL_SEGMENT,
+    EV_CONTROL_DROP,
+    EV_RESERVATION_COMMIT,
+)
+
+
+class PacketTimeline:
+    """Chronological event list of a single packet."""
+
+    def __init__(self, pid: int, events: Sequence[TraceEvent]):
+        self.pid = pid
+        self.events: List[TraceEvent] = sorted(
+            (e for e in events if e.pid == pid),
+            key=lambda e: (e.cycle, e.seq),
+        )
+
+    # -- derived views -----------------------------------------------------
+
+    def kinds(self) -> List[str]:
+        return [e.kind for e in self.events]
+
+    def control_events(self) -> List[TraceEvent]:
+        """The control-packet side: injection, segments, commits, drop."""
+        return [e for e in self.events if e.kind in CONTROL_KINDS]
+
+    def plan_sequence(self) -> List[TraceEvent]:
+        """The pre-allocation story: control segments, reservation
+        commits, and the latch/bypass traversals that executed them."""
+        return [e for e in self.events if e.kind in PLAN_KINDS]
+
+    @property
+    def injected_at(self) -> Optional[int]:
+        for e in self.events:
+            if e.kind == EV_PACKET_INJECT:
+                return e.cycle
+        return None
+
+    @property
+    def ejected_at(self) -> Optional[int]:
+        for e in self.events:
+            if e.kind == EV_EJECT:
+                return e.cycle
+        return None
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        inj, ej = self.injected_at, self.ejected_at
+        if inj is None or ej is None:
+            return None
+        return ej - inj
+
+    @property
+    def is_planned(self) -> bool:
+        return any(e.kind == EV_RESERVATION_COMMIT for e in self.events)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable, one line per event, for the trace CLI."""
+        if not self.events:
+            return f"packet {self.pid}: no events captured"
+        lines = [f"packet {self.pid} timeline "
+                 f"({len(self.events)} events"
+                 + (f", latency {self.network_latency}" if
+                    self.network_latency is not None else "")
+                 + ")"]
+        for e in self.events:
+            where = f" @node {e.node}" if e.node is not None else ""
+            detail = " ".join(f"{k}={v}" for k, v in sorted(e.data.items()))
+            lines.append(
+                f"  cycle {e.cycle:>6}  {e.kind:<18}{where:<10} {detail}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+def _load(events_or_path) -> List[TraceEvent]:
+    if isinstance(events_or_path, str):
+        return read_jsonl(events_or_path)
+    return list(events_or_path)
+
+
+def reconstruct(events_or_path, pid: int) -> PacketTimeline:
+    """Build one packet's timeline from events or a JSONL path."""
+    return PacketTimeline(pid, _load(events_or_path))
+
+
+def timelines_by_pid(
+    events_or_path, kinds: Optional[Iterable[str]] = None
+) -> Dict[int, PacketTimeline]:
+    """All per-packet timelines present in a trace."""
+    events = _load(events_or_path)
+    kind_set = set(kinds) if kinds is not None else None
+    by_pid: Dict[int, List[TraceEvent]] = {}
+    for e in events:
+        if e.pid is None:
+            continue
+        if kind_set is not None and e.kind not in kind_set:
+            continue
+        by_pid.setdefault(e.pid, []).append(e)
+    return {pid: PacketTimeline(pid, evs) for pid, evs in by_pid.items()}
+
+
+def planned_pids(events_or_path) -> Set[int]:
+    """Packet ids that had at least one reservation committed."""
+    return {
+        e.pid for e in _load(events_or_path)
+        if e.kind == EV_RESERVATION_COMMIT and e.pid is not None
+    }
+
+
+def delivered_pids(events_or_path) -> Set[int]:
+    """Packet ids whose tail reached the destination NI in-trace."""
+    return {
+        e.pid for e in _load(events_or_path)
+        if e.kind == EV_EJECT and e.pid is not None
+    }

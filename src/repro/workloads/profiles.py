@@ -121,11 +121,39 @@ CLOUDSUITE: Dict[str, WorkloadProfile] = {
 #: Paper ordering (alphabetical, as in Figures 6 and 9).
 WORKLOAD_NAMES: Tuple[str, ...] = tuple(CLOUDSUITE)
 
+#: CLI-friendly short names (lowercase, no spaces).
+WORKLOAD_ALIASES: Dict[str, str] = {
+    "data": "Data Serving",
+    "serving": "Data Serving",
+    "mapreduce": "MapReduce",
+    "media": "Media Streaming",
+    "streaming": "Media Streaming",
+    "sat": "SAT Solver",
+    "frontend": "Web Frontend",
+    "web": "Web Search",
+    "search": "Web Search",
+}
+
+
+def resolve_workload(name: str) -> str:
+    """Map a workload name or short alias to its canonical name.
+
+    Accepts the exact name ("Web Search"), a case-insensitive variant
+    ("web search"), or a registered short alias ("web")."""
+    if name in CLOUDSUITE:
+        return name
+    lowered = name.lower()
+    for canonical in CLOUDSUITE:
+        if canonical.lower() == lowered:
+            return canonical
+    alias = WORKLOAD_ALIASES.get(lowered)
+    if alias is not None:
+        return alias
+    raise KeyError(
+        f"unknown workload {name!r}; choose from {WORKLOAD_NAMES} "
+        f"or aliases {sorted(WORKLOAD_ALIASES)}"
+    )
+
 
 def get_profile(name: str) -> WorkloadProfile:
-    try:
-        return CLOUDSUITE[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
-        ) from None
+    return CLOUDSUITE[resolve_workload(name)]

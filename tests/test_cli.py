@@ -58,6 +58,15 @@ def test_figures_json_dump(tmp_path, capsys):
     assert data["fig8"]["headers"][0] == "Organization"
 
 
-def test_unknown_workload_raises():
-    with pytest.raises(KeyError):
-        main(["simulate", "NoSuchWorkload", "--measure", "100"])
+def test_unknown_workload_is_a_clean_cli_error(capsys):
+    rc = main(["simulate", "NoSuchWorkload", "--measure", "100"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 'NoSuchWorkload'" in err
+    assert "Web Search" in err  # the error names the valid choices
+
+
+def test_unknown_workload_in_trace_command(capsys):
+    rc = main(["trace", "--workload", "NoSuchWorkload"])
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err

@@ -55,6 +55,62 @@ class TestRunner:
         assert sample.instructions > 0
         clear_grid_cache()
 
+    def test_merge_weights_by_sample_counts(self):
+        """Regression: merged latencies and distributions must weight
+        each seed by its own observation count, not average the
+        per-seed averages.  Seed B delivered 9x the packets of seed A,
+        so it dominates every merged statistic 9:1."""
+        from repro.harness.runner import _merge
+        from repro.perf.system import PerfSample
+
+        def sample(packets, avg_net, avg_txn, control, lag, blocked):
+            return PerfSample(
+                workload="Web Search", noc_kind=NocKind.MESH_PRA,
+                instructions=1000 * packets, cycles=400, packets=packets,
+                avg_network_latency=avg_net,
+                avg_transaction_latency=avg_txn,
+                control_packets=control, control_per_data=control / packets,
+                lag_distribution=lag, pra_blocked_fraction=blocked,
+                flits_delivered=5 * packets, total_hops=20 * packets,
+            )
+
+        a = sample(packets=10, avg_net=10.0, avg_txn=100.0, control=10,
+                   lag={0: 1.0}, blocked=0.1)
+        b = sample(packets=90, avg_net=20.0, avg_txn=200.0, control=30,
+                   lag={1: 1.0}, blocked=0.3)
+        merged = _merge([a, b])
+        assert merged.packets == 100
+        assert merged.instructions == 1000 * 100
+        # Packet-weighted latencies (an unweighted mean would give 150
+        # and 15).
+        assert merged.avg_transaction_latency == pytest.approx(
+            (100.0 * 10 + 200.0 * 90) / 100
+        )
+        assert merged.avg_network_latency == pytest.approx(
+            (10.0 * 10 + 20.0 * 90) / 100
+        )
+        # Control-packet-weighted lag distribution: 10 of the 40 control
+        # packets dropped at lag 0, 30 at lag 1.
+        assert merged.lag_distribution == pytest.approx(
+            {0: 10 / 40, 1: 30 / 40}
+        )
+        assert sum(merged.lag_distribution.values()) == pytest.approx(1.0)
+        # Blocked fraction weighted by each seed's total network time
+        # (10*10 = 100 vs 20*90 = 1800 cycles in-network).
+        assert merged.pra_blocked_fraction == pytest.approx(
+            (0.1 * 100 + 0.3 * 1800) / 1900
+        )
+        assert merged.control_per_data == pytest.approx(40 / 100)
+
+    def test_merge_single_sample_is_identity(self):
+        from repro.harness.runner import _merge
+        from repro.perf.system import PerfSample
+
+        s = PerfSample(workload="Web Search", noc_kind=NocKind.MESH,
+                       instructions=1, cycles=1, packets=1,
+                       avg_network_latency=1.0, avg_transaction_latency=1.0)
+        assert _merge([s]) is s
+
 
 class TestFigures:
     def test_figure2_structure(self, grid):
