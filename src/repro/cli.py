@@ -12,6 +12,10 @@ Commands:
   per-packet timeline (a planned response by default);
 * ``sweep [--noc KIND] [--pattern P] [--rates ...]`` — open-loop
   load-latency curves under synthetic traffic;
+* ``chaos [--noc KIND] [--fault-seed N] [--intensity X]`` — run a
+  seeded fault schedule (dropped control packets, stalled routers and
+  links, multi-drop blackouts) with the runtime invariant checkers
+  attached; exits non-zero on violations or undelivered packets;
 * ``area`` / ``power`` — the analytic physical models;
 * ``params`` — echo the Table I configuration.
 """
@@ -55,6 +59,30 @@ _FIGURES = {
 #: underscore alias for the '+' (shell-friendlier, e.g. ``mesh_pra``).
 _NOC_KINDS = {k.value: k for k in NocKind}
 _NOC_KINDS.update({k.value.replace("+", "_"): k for k in NocKind})
+
+#: Organizations the chaos harness can inject faults into ("ring" is a
+#: router-level topology here, not a NocKind; "ideal" has no routers or
+#: links to fault, so it is excluded).
+_CHAOS_NOCS = sorted(
+    {name for name, k in _NOC_KINDS.items() if k is not NocKind.IDEAL}
+    | {"ring"}
+)
+
+
+def _parse_mesh(text: str):
+    """argparse type for ``--mesh WxH`` (e.g. ``4x4``)."""
+    try:
+        width_s, _, height_s = text.lower().partition("x")
+        width, height = int(width_s), int(height_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected WxH (e.g. 8x8), got {text!r}"
+        ) from None
+    if width < 1 or height < 1:
+        raise argparse.ArgumentTypeError(
+            f"mesh dimensions must be positive, got {text!r}"
+        )
+    return width, height
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -180,27 +208,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.noc.network import build_network
-    from repro.params import NocParams
+    from repro.params import NocParams, RouterParams
     from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
 
     pattern = TrafficPattern(args.pattern)
     kinds = ([_NOC_KINDS[args.noc]] if args.noc
              else list(NocKind))
     rates = [float(r) for r in args.rates.split(",")]
+    width, height = args.mesh
+    router = RouterParams()
+    if args.vcs is not None:
+        router = replace(router, vcs_per_port=args.vcs)
     header = "rate      " + "".join(f"{k.value:>10s}" for k in kinds)
     print(header)
     print("-" * len(header))
     for rate in rates:
         cells = []
         for kind in kinds:
-            net = build_network(NocParams(kind=kind))
+            net = build_network(NocParams(
+                kind=kind, mesh_width=width, mesh_height=height,
+                router=router,
+            ))
             SyntheticTraffic(net, pattern, rate, seed=args.seed).run(
                 args.cycles
             )
             cells.append(f"{net.stats.avg_network_latency:10.2f}")
         print(f"{rate:<10.4f}" + "".join(cells))
     return 0
+
+
+def _build_chaos_network(noc: str, width: int, height: int):
+    """A network for the chaos harness; ``ring`` wraps the stop count."""
+    from repro.noc.network import build_network
+    from repro.noc.ring import build_ring
+    from repro.params import NocParams
+
+    if noc == "ring":
+        return build_ring(width * height)
+    return build_network(NocParams(
+        kind=_NOC_KINDS[noc], mesh_width=width, mesh_height=height,
+    ))
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultInjector, FaultSchedule
+    from repro.invariants import InvariantSuite
+    from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+    width, height = args.mesh
+    net = _build_chaos_network(args.noc, width, height)
+    num_nodes = net.topology.num_nodes
+    schedule = FaultSchedule.random(
+        args.fault_seed, num_nodes, args.cycles, intensity=args.intensity
+    )
+    injector = FaultInjector(schedule)
+    net.attach_faults(injector)
+    suite = InvariantSuite(raise_on_violation=False)
+    net.attach_invariants(suite)
+    traffic = SyntheticTraffic(
+        net, TrafficPattern(args.pattern), args.rate, seed=args.seed
+    )
+    traffic.run(args.cycles)
+    drain_limit = args.cycles + args.drain
+    while (net.stats.in_flight and net.cycle < drain_limit
+           and not suite.watchdog_fired):
+        net.step()
+
+    stats = net.stats
+    print(f"organization:         {args.noc}")
+    print(f"nodes:                {num_nodes}")
+    print(f"fault seed:           {args.fault_seed} "
+          f"(intensity {args.intensity})")
+    print(f"packets delivered:    {stats.packets_ejected}"
+          f" / {stats.packets_injected}")
+    print(f"packets unfinished:   {stats.in_flight}")
+    print(f"avg network latency:  {stats.avg_network_latency:.2f} cycles")
+    print(f"invariant audits:     {suite.audits_run}")
+    summary = injector.summary()
+    print("faults injected:      "
+          + (", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+             or "none"))
+    if stats.control_drop_reasons:
+        print("control drops:        "
+              + ", ".join(f"{k}={v}" for k, v in
+                          sorted(stats.control_drop_reasons.items())))
+    failed = False
+    if suite.violations:
+        failed = True
+        print(f"\nINVARIANT VIOLATIONS ({len(suite.violations)}):",
+              file=sys.stderr)
+        for violation in suite.violations:
+            print(violation.render(), file=sys.stderr)
+    if stats.in_flight:
+        failed = True
+        print(f"\n{stats.in_flight} packets never finished "
+              f"(drain limit {drain_limit} cycles"
+              + (", watchdog fired" if suite.watchdog_fired else "")
+              + ")", file=sys.stderr)
+    if not failed:
+        print("all packets delivered, all invariants held")
+    return 1 if failed else 0
 
 
 def _cmd_area(_args: argparse.Namespace) -> int:
@@ -274,7 +384,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rates", default="0.002,0.005,0.01,0.02")
     p.add_argument("--cycles", type=int, default=2000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--mesh", type=_parse_mesh, default=(8, 8),
+                   metavar="WxH", help="mesh dimensions (default 8x8)")
+    p.add_argument("--vcs", type=int, default=None,
+                   help="virtual channels per port (default: per class)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection run with runtime invariant checking",
+    )
+    p.add_argument("--noc", default="mesh_pra", choices=_CHAOS_NOCS)
+    p.add_argument("--mesh", type=_parse_mesh, default=(4, 4),
+                   metavar="WxH",
+                   help="mesh dimensions (ring: WxH stops; default 4x4)")
+    p.add_argument("--cycles", type=int, default=500,
+                   help="injection window length")
+    p.add_argument("--drain", type=int, default=4096,
+                   help="extra cycles allowed to drain in-flight packets")
+    p.add_argument("--rate", type=float, default=0.03,
+                   help="per-node injection probability")
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--seed", type=int, default=1, help="traffic seed")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="fault-schedule seed")
+    p.add_argument("--intensity", type=float, default=1.0,
+                   help="fault-schedule intensity multiplier")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("area", help="Figure 8 area model")
     p.set_defaults(func=_cmd_area)
@@ -295,6 +431,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # e.g. piped into `head`
         return 0
+    except ValueError as exc:
+        # Invalid parameter combinations (dataclass validation, bad
+        # pattern/rate strings) exit like argparse errors do.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,7 @@ from repro.trace.events import (
     EV_CONTROL_DROP,
     EV_CONTROL_INJECT,
     EV_CONTROL_SEGMENT,
+    EV_FAULT,
     EV_RESERVATION_COMMIT,
 )
 
@@ -57,6 +58,10 @@ DROP_LAG_ZERO = "lag_zero"
 DROP_RESOURCE_BUSY = "resource_busy"
 DROP_CONTROL_CONFLICT = "control_conflict"
 DROP_REACHED_DESTINATION = "reached_destination"
+#: Chaos-harness drops (see :mod:`repro.faults`).
+DROP_FAULT = "fault_drop"
+DROP_FAULT_ACK = "fault_ack_loss"
+DROP_FAULT_BLACKOUT = "fault_blackout"
 
 #: Cycles per multi-drop segment: one processing + one transmission.
 SEGMENT_CYCLES = 2
@@ -146,6 +151,22 @@ class ControlNetwork:
             return None  # nothing left to pre-allocate
         lag = min(lag, self.params.max_lag)
         tracer = self.network.tracer
+        faults = self.network.faults
+        if faults.enabled:
+            if faults.blackout_at(source_node, process_at):
+                faults.record("control_blackout")
+                if tracer.enabled:
+                    tracer.emit(now, EV_FAULT, pid=packet.pid,
+                                node=source_node, site="control_inject",
+                                fault="blackout")
+                return None
+            if faults.drop_control_inject(source_node, packet.pid, now):
+                faults.record("control_drop")
+                if tracer.enabled:
+                    tracer.emit(now, EV_FAULT, pid=packet.pid,
+                                node=source_node, site="control_inject",
+                                fault="drop")
+                return None
         if not self._claim(source_node, "inject", process_at):
             # The local latch is busy: the packet never enters the
             # control network (it is not counted as injected).
@@ -186,6 +207,10 @@ class ControlNetwork:
             self._record_drop(max(run.lag, 0), DROP_RESOURCE_BUSY, run)
             return
         node, direction = run.route[run.pos]
+        faults = self.network.faults
+        if faults.enabled and not self._survives_faults(run, node, now,
+                                                        faults):
+            return
         if direction is Direction.LOCAL:
             self._reserve_ejection(run, node, now)
             return
@@ -219,6 +244,42 @@ class ControlNetwork:
             self._finish(run, DROP_CONTROL_CONFLICT)
             return
         self.network.schedule_call(next_time, self._process, run)
+
+    def _survives_faults(self, run: ControlRun, node: int, now: int,
+                         faults) -> bool:
+        """Apply control-plane faults at a segment boundary.
+
+        Returns False (after settling the run) when the control packet
+        was eaten here.  ACK loss is applied *before* any reservation
+        attempt, so the already committed prefix — which ends in a
+        standard-VC landing with full buffer space claimed — stays
+        self-consistent: the data packet simply stops there and falls
+        back to hop-by-hop allocation.
+        """
+        tracer = self.network.tracer
+        pid = run.packet.pid
+        if faults.blackout_at(node, now):
+            faults.record("control_blackout")
+            if tracer.enabled:
+                tracer.emit(now, EV_FAULT, pid=pid, node=node,
+                            site="control_segment", fault="blackout")
+            self._finish(run, DROP_FAULT_BLACKOUT)
+            return False
+        if faults.drop_control_segment(node, pid, now):
+            faults.record("control_drop")
+            if tracer.enabled:
+                tracer.emit(now, EV_FAULT, pid=pid, node=node,
+                            site="control_segment", fault="drop")
+            self._finish(run, DROP_FAULT)
+            return False
+        if run.pos > 0 and faults.suppress_ack(node, pid, now):
+            faults.record("ack_loss")
+            if tracer.enabled:
+                tracer.emit(now, EV_FAULT, pid=pid, node=node,
+                            site="ack", fault="suppressed")
+            self._finish(run, DROP_FAULT_ACK)
+            return False
+        return True
 
     def _step_hops(self, run: ControlRun, direction: Direction) -> int:
         """2 hops when the route continues straight past the next router
@@ -255,6 +316,14 @@ class ControlNetwork:
             return False
         if not table.window_free(slot, size):
             return False
+        # Injected link stalls are visible at reservation time (the
+        # static schedule), so slots that would drive a dead link are
+        # refused here and the packet degrades to hop-by-hop allocation.
+        faults = self.network.faults
+        if faults.enabled and faults.link_window_blocked(
+            node, direction, slot, size
+        ):
+            return False
         # 2. Driver crossbar input.
         if not driver.input_window_free(src_dir, slot, size):
             return False
@@ -270,6 +339,10 @@ class ControlNetwork:
             if not via_port.reservations.window_free(slot, size):
                 return False
             if not via_router.input_window_free(direction.opposite, slot, size):
+                return False
+            if faults.enabled and faults.link_window_blocked(
+                via_node, direction, slot, size
+            ):
                 return False
         # 4. Landing buffer: full-packet space in the standard VC.
         landing_port = via_port if hops == 2 else driver_port
@@ -340,7 +413,11 @@ class ControlNetwork:
         size = run.packet.size
         slot = run.next_slot
         src_kind, src_dir, src_vc = self._step_source(run)
+        faults = self.network.faults
         ok = (
+            not (faults.enabled and faults.link_window_blocked(
+                node, Direction.LOCAL, slot, size))
+        ) and (
             port.reservations.within_horizon(now, slot, size)
             and port.reservations.window_free(slot, size)
             and driver.input_window_free(src_dir, slot, size)
@@ -480,6 +557,38 @@ class ControlNetwork:
         if first:
             run.packet.pra_plan = run.plan
             self.stats.pra_planned_packets += 1
+            faults = self.network.faults
+            if faults.enabled:
+                expire_at = faults.plan_expiry(
+                    run.packet.pid, self.network.cycle, run.plan.start_slot
+                )
+                if expire_at is not None:
+                    self.network.schedule_call(
+                        expire_at, self._expire_plan, run.plan
+                    )
+
+    def _expire_plan(self, plan: PraPlan) -> None:
+        """Chaos fault: corrupted/expired reservation state tears the
+        plan down strictly before its first timeslot.  Expiring a plan
+        that has started executing would strand flits in latches (they
+        drain only through plan execution) — that is a simulator bug,
+        not a modelable hardware fault, so the guard is hard."""
+        if plan.cancelled or plan.finished:
+            return
+        if self.network.cycle >= plan.start_slot:
+            return
+        faults = self.network.faults
+        if faults.enabled:
+            faults.record("plan_expired")
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(self.network.cycle, EV_FAULT,
+                        pid=plan.packet.pid,
+                        node=plan.steps[0].driver_node if plan.steps
+                        else None,
+                        site="reservation", fault="expired",
+                        steps=len(plan.steps))
+        plan.cancel()
 
     def _finish(self, run: ControlRun, reason: str) -> None:
         """The control packet is dropped (every control packet ends in a

@@ -75,6 +75,10 @@ class PraPlan:
         self.start_slot = start_slot
         self.steps: List[PlanStep] = []
         self.cancelled = False
+        #: True once the last step's tail flit has been driven; finished
+        #: plans keep their (already consumed) claims until the periodic
+        #: purge, which the leak checkers must not flag.
+        self.finished = False
         self.completed_steps = 0
         #: Current standard-VC claim at the chain's tail:
         #: (port feeding the landing router, vc index, credits claimed).

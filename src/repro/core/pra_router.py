@@ -131,11 +131,24 @@ class PraRouter(MeshRouter):
         used_inputs: Set[Direction] = set()
         busy_dirs: Set[Direction] = set()
         if has_reservations:
+            # The PRA arbiter runs even under an injected router stall:
+            # the paper splits it from the local arbiter (Figure 4), and
+            # committed reservations are the only thing that drains
+            # latches — freezing them would strand flits forever instead
+            # of modeling a recoverable hardware hiccup.
             self._execute_reservations(now, used_inputs, busy_dirs)
+        faults = self.network.faults
+        stalled = faults.enabled and faults.router_stalled(self.node, now)
+        if stalled:
+            if now - self._last_purge >= _PURGE_PERIOD:
+                self._purge(now)
+            return
         candidates = self._collect_head_candidates()
         for direction in PORT_ORDER:
             port = self.output_ports.get(direction)
             if port is None:
+                continue
+            if faults.enabled and port.fault_stalled(now):
                 continue
             if direction in busy_dirs:
                 self._count_blocked(candidates.get(direction), used_inputs)
@@ -212,6 +225,7 @@ class PraRouter(MeshRouter):
         self._deliver_to_landing(step, plan, flit, now)
         if flit.is_tail and step is plan.steps[-1]:
             # The whole pre-allocated stretch has been traversed.
+            plan.finished = True
             packet.pra_plan = None
             packet.pra_pending = False
 

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the chaos harness.
+
+The paper's safety argument is that proactive allocation is *speculative
+but harmless*: a control packet that cannot reserve what it needs is
+dropped and the data packet falls back to ordinary hop-by-hop
+allocation.  This package stresses that claim on purpose: a
+:class:`FaultSchedule` describes a reproducible set of adverse events
+(control-packet drops, ACK loss, reservation expiry, router/link stalls,
+multi-drop segment blackouts) and a :class:`FaultInjector` applies them
+at named sites inside the simulator.  The null object
+(:data:`NULL_FAULTS`) keeps every site to a single attribute check when
+fault injection is off, exactly like the trace layer's ``NULL_TRACER``.
+"""
+
+from repro.faults.injector import FaultInjector, NullFaultInjector, NULL_FAULTS
+from repro.faults.schedule import (
+    FaultSchedule,
+    LinkStall,
+    SegmentBlackout,
+    StallWindow,
+    mix01,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkStall",
+    "NULL_FAULTS",
+    "NullFaultInjector",
+    "SegmentBlackout",
+    "StallWindow",
+    "mix01",
+]

@@ -1,0 +1,179 @@
+"""Fault injectors: the runtime half of the chaos harness.
+
+Injection sites query a :class:`FaultInjector` attached to the network
+(``network.attach_faults``).  Sites are *named*: each query method is
+one place in the simulator where hardware can misbehave, and each is
+designed so the misbehaviour degrades gracefully —
+
+====================== ==================================================
+query                  site
+====================== ==================================================
+``drop_control_inject``  control packet eaten at its injection latch
+``drop_control_segment`` control packet eaten at a segment boundary
+``suppress_ack``         ACK of the previous landing lost (run drops
+                         before converting the landing, so the already
+                         committed prefix stays consistent)
+``plan_expiry``          a committed plan is cancelled strictly before
+                         its first timeslot (reservation corruption)
+``router_stalled``       a router's *local* arbiter freezes; the PRA
+                         arbiter keeps draining committed reservations
+``link_stalled``         one output link stops transmitting (data side)
+``link_window_blocked``  the same stall, consulted at reservation time
+                         so the control network refuses slots that would
+                         land on a dead link
+``blackout_at``          control multi-drop media down at a node
+====================== ==================================================
+
+All decisions are pure functions of the schedule (see
+:mod:`repro.faults.schedule`), so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    SITE_ACK,
+    SITE_CONTROL_INJECT,
+    SITE_CONTROL_SEGMENT,
+    SITE_EXPIRY,
+    mix01,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.topology import Direction
+
+
+class NullFaultInjector:
+    """Fault injection off: one attribute check on every hot path."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "NULL_FAULTS"
+
+
+#: Shared do-nothing injector; networks start with this attached.
+NULL_FAULTS = NullFaultInjector()
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule`; counts everything it does."""
+
+    enabled = True
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        #: What actually happened, by fault kind (sites call ``record``
+        #: at the moment they act on a decision).
+        self.counts: Counter = Counter()
+        # Index the windows for O(windows at node) queries.
+        self._router_windows: Dict[int, List[Tuple[int, int]]] = {}
+        for w in schedule.router_stalls:
+            self._router_windows.setdefault(w.node, []).append(
+                (w.start, w.end)
+            )
+        self._link_windows: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for ls in schedule.link_stalls:
+            key = (ls.node, int(ls.direction))
+            self._link_windows.setdefault(key, []).append(
+                (ls.start, ls.end)
+            )
+        self._blackouts = schedule.blackouts
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def record(self, kind: str, n: int = 1) -> None:
+        self.counts[kind] += n
+
+    def summary(self) -> Dict[str, int]:
+        """Configured windows plus the acted-on decision counts."""
+        out = {
+            "router_stall_windows": len(self.schedule.router_stalls),
+            "link_stall_windows": len(self.schedule.link_stalls),
+            "blackout_windows": len(self.schedule.blackouts),
+        }
+        out.update(sorted(self.counts.items()))
+        return out
+
+    # -- probabilistic control-network faults -----------------------------
+
+    def drop_control_inject(self, node: int, pid: int, cycle: int) -> bool:
+        p = self.schedule.control_drop_prob
+        return p > 0.0 and mix01(
+            self.schedule.seed, SITE_CONTROL_INJECT, node, pid, cycle
+        ) < p
+
+    def drop_control_segment(self, node: int, pid: int, cycle: int) -> bool:
+        p = self.schedule.segment_drop_prob
+        return p > 0.0 and mix01(
+            self.schedule.seed, SITE_CONTROL_SEGMENT, node, pid, cycle
+        ) < p
+
+    def suppress_ack(self, node: int, pid: int, cycle: int) -> bool:
+        p = self.schedule.ack_loss_prob
+        return p > 0.0 and mix01(
+            self.schedule.seed, SITE_ACK, node, pid, cycle
+        ) < p
+
+    def plan_expiry(self, pid: int, now: int,
+                    start_slot: int) -> Optional[int]:
+        """Cycle at which to cancel a freshly committed plan, or None.
+
+        The expiry always lands strictly before ``start_slot``: once a
+        plan starts executing, cancelling it would strand flits in
+        latches (latches drain only through plan execution), which is a
+        simulator-integrity violation rather than a hardware fault.
+        """
+        p = self.schedule.plan_expiry_prob
+        if p <= 0.0 or start_slot - now < 2:
+            return None
+        if mix01(self.schedule.seed, SITE_EXPIRY, pid) >= p:
+            return None
+        span = start_slot - 1 - now  # expiry in [now+1, start_slot-1]
+        offset = 1 + int(
+            mix01(self.schedule.seed, SITE_EXPIRY, pid, 1) * span
+        )
+        return now + min(offset, span)
+
+    # -- stall windows ----------------------------------------------------
+
+    def router_stalled(self, node: int, cycle: int) -> bool:
+        windows = self._router_windows.get(node)
+        if not windows:
+            return False
+        return any(start <= cycle < end for start, end in windows)
+
+    def link_stalled(self, node: int, direction: Direction,
+                     cycle: int) -> bool:
+        windows = self._link_windows.get((node, int(direction)))
+        if not windows:
+            return False
+        return any(start <= cycle < end for start, end in windows)
+
+    def link_window_blocked(self, node: int, direction: Direction,
+                            first_slot: int, count: int) -> bool:
+        """Would any of ``count`` slots from ``first_slot`` hit a stall?
+
+        The control network consults this before committing timeslots,
+        so pre-allocated traversals are never scheduled onto a link that
+        the schedule says will be down — the reservation simply fails
+        and the packet degrades to hop-by-hop allocation.
+        """
+        windows = self._link_windows.get((node, int(direction)))
+        if not windows:
+            return False
+        last = first_slot + count
+        return any(start < last and first_slot < end
+                   for start, end in windows)
+
+    # -- blackouts ---------------------------------------------------------
+
+    def blackout_at(self, node: int, cycle: int) -> bool:
+        return any(b.covers(node, cycle) for b in self._blackouts)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.schedule!r})"

@@ -10,6 +10,7 @@ costs one sweep.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -54,10 +55,31 @@ GridKey = Tuple[str, NocKind]
 _grid_cache: Dict[Tuple[str, str, Tuple[NocKind, ...]], Dict[GridKey, PerfSample]] = {}
 
 
+def _wall_limit() -> Optional[float]:
+    """Per-cell wall-clock budget (seconds) from REPRO_WALL_LIMIT."""
+    raw = os.environ.get("REPRO_WALL_LIMIT")
+    if not raw:
+        return None
+    try:
+        limit = float(raw)
+    except ValueError:
+        return None
+    return limit if limit > 0 else None
+
+
 def _simulate_cell(cell: Tuple[str, NocKind, int, int, int]) -> PerfSample:
     """Worker entry point (top-level so it pickles for multiprocessing)."""
     workload, kind, warmup, measure, seed = cell
-    return simulate(workload, kind, warmup=warmup, measure=measure, seed=seed)
+    sample = simulate(workload, kind, warmup=warmup, measure=measure,
+                      seed=seed, wall_limit=_wall_limit())
+    if sample.timed_out:
+        print(
+            f"warning: {workload}/{kind.value} seed {seed} hit the "
+            f"REPRO_WALL_LIMIT wall-clock budget after {sample.cycles} "
+            f"measured cycles; reporting the partial interval",
+            file=sys.stderr,
+        )
+    return sample
 
 
 def _num_jobs() -> int:
@@ -154,6 +176,8 @@ def _merge(samples) -> PerfSample:
         ),
         flits_delivered=sum(s.flits_delivered for s in samples),
         total_hops=sum(s.total_hops for s in samples),
+        packets_unfinished=sum(s.packets_unfinished for s in samples),
+        timed_out=any(s.timed_out for s in samples),
     )
 
 

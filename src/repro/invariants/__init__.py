@@ -1,0 +1,17 @@
+"""Runtime invariant checkers for the simulator.
+
+The checkers are pure observers: they read router/port/NI state and the
+pending event queue, never mutate anything, and either raise a
+structured :class:`InvariantViolation` or collect it for later
+inspection.  With checkers attached and no faults injected, every run
+must produce identical outcomes to an unchecked run and zero
+violations.
+"""
+
+from repro.invariants.checkers import (
+    InvariantSuite,
+    InvariantViolation,
+    wait_graph,
+)
+
+__all__ = ["InvariantSuite", "InvariantViolation", "wait_graph"]

@@ -65,6 +65,8 @@ class IdealNetwork(Network):
             else:
                 self._waiting[node].append(packet)
         self._advance_waiting(now)
+        if self.invariants is not None:
+            self.invariants.on_cycle(self, now)
         self.cycle = now + 1
 
     def _advance_waiting(self, now: int) -> None:

@@ -44,6 +44,7 @@ class NetworkInterface:
             network=network,
             num_vcs=params.vcs_per_port,
             vc_depth=params.flits_per_vc,
+            node=node,
         )
         self.port.connect(router, Direction.LOCAL)
         self._rr = 0
@@ -61,6 +62,9 @@ class NetworkInterface:
 
     def step(self, now: int) -> None:
         port = self.port
+        faults = self.network.faults
+        if faults.enabled and port.fault_stalled(now):
+            return  # injection link inside a stall window
         if port.is_held:
             self._continue_holder(now)
             return

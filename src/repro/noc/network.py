@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.faults.injector import NULL_FAULTS
 from repro.noc.stats import NetworkStats
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
@@ -42,6 +43,11 @@ class Network:
         #: Event tracer; the null object keeps the hot path to a single
         #: attribute check (see :mod:`repro.trace`).
         self.tracer = NULL_TRACER
+        #: Fault injector (chaos harness); same null-object discipline
+        #: as the tracer (see :mod:`repro.faults`).
+        self.faults = NULL_FAULTS
+        #: Attached :class:`repro.invariants.InvariantSuite`, or None.
+        self.invariants = None
 
     # -- tracing ----------------------------------------------------------
 
@@ -52,6 +58,23 @@ class Network:
     def detach_tracer(self) -> None:
         """Stop tracing (restore the null tracer)."""
         self.tracer = NULL_TRACER
+
+    # -- fault injection and invariant checking ---------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Start consulting ``injector`` at every fault site."""
+        self.faults = injector
+
+    def detach_faults(self) -> None:
+        """Stop injecting faults (restore the null injector)."""
+        self.faults = NULL_FAULTS
+
+    def attach_invariants(self, suite) -> None:
+        """Run ``suite``'s checks at the end of every cycle."""
+        self.invariants = suite
+
+    def detach_invariants(self) -> None:
+        self.invariants = None
 
     # -- client API -------------------------------------------------------
 
@@ -85,6 +108,8 @@ class Network:
         for router in self.routers:
             router.step(now)
         self._post_router_step(now)
+        if self.invariants is not None:
+            self.invariants.on_cycle(self, now)
         self.cycle = now + 1
 
     def _run_events(self, now: int) -> None:

@@ -37,6 +37,7 @@ class OutputPort:
         "router",
         "direction",
         "network",
+        "node",
         "downstream_router",
         "downstream_unit",
         "ni_sink",
@@ -57,10 +58,16 @@ class OutputPort:
         network: "Network",
         num_vcs: int,
         vc_depth: int,
+        node: Optional[int] = None,
     ):
         self.router = router
         self.direction = direction
         self.network = network
+        #: Node this port belongs to (the router's node, or the NI's for
+        #: injection ports); fault sites key link stalls on it.
+        self.node = node if node is not None else (
+            router.node if router is not None else None
+        )
         #: Downstream router and its input unit; None for the ejection
         #: port (then ``ni_sink`` is set instead).
         self.downstream_router: Optional["BaseRouter"] = None
@@ -149,6 +156,14 @@ class OutputPort:
 
     def has_credit_for(self, vc_index: int) -> bool:
         return self.is_ejection or self.usable_credits(vc_index) >= 1
+
+    # -- fault site -------------------------------------------------------
+
+    def fault_stalled(self, now: int) -> bool:
+        """Is this link inside an injected stall window?  Callers guard
+        with ``network.faults.enabled`` so the off path stays free."""
+        return self.network.faults.link_stalled(self.node, self.direction,
+                                                now)
 
     # -- switch state -----------------------------------------------------
 

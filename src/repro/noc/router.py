@@ -185,11 +185,16 @@ class MeshRouter(BaseRouter):
     def step(self, now: int) -> None:
         if self.active_flits == 0:
             return
+        faults = self.network.faults
+        if faults.enabled and faults.router_stalled(self.node, now):
+            return
         used_inputs: Set[Direction] = set()
         candidates = self._collect_head_candidates()
         for direction in PORT_ORDER:
             port = self.output_ports.get(direction)
             if port is None:
+                continue
+            if faults.enabled and port.fault_stalled(now):
                 continue
             if port.is_held:
                 self._advance_held(port, now, used_inputs)

@@ -76,7 +76,7 @@ class SmartRouter(MeshRouter):
         now: int,
         used_inputs: Set[Direction],
     ) -> None:
-        via_port = self._try_bypass(packet, port.direction)
+        via_port = self._try_bypass(packet, port.direction, now)
         if via_port is not None:
             landing_vc = via_port.downstream_vc(packet.vc_index)
             landing_vc.allocated_to = packet
@@ -164,7 +164,8 @@ class SmartRouter(MeshRouter):
 
     # -- SSR arbitration -------------------------------------------------------------
 
-    def _try_bypass(self, packet: Packet, direction: Direction) -> Optional[OutputPort]:
+    def _try_bypass(self, packet: Packet, direction: Direction,
+                    now: int) -> Optional[OutputPort]:
         """Return the intermediate router's output port if the SSR wins."""
         if direction is Direction.LOCAL or self.hpc_max < 2:
             return None
@@ -177,6 +178,9 @@ class SmartRouter(MeshRouter):
         via_port = inter.output_ports.get(direction)
         if via_port is None or via_port.is_held:
             return None
+        faults = self.network.faults
+        if faults.enabled and via_port.fault_stalled(now):
+            return None  # SSR refused across a stalled link
         if inter._has_local_candidate(direction):
             return None  # local flits have priority over SSRs
         landing_vc = via_port.downstream_vc(packet.vc_index)

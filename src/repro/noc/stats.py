@@ -135,6 +135,7 @@ class NetworkStats:
         return {
             "packets_injected": self.packets_injected,
             "packets_ejected": self.packets_ejected,
+            "packets_unfinished": self.in_flight,
             "avg_network_latency": self.avg_network_latency,
             "avg_total_latency": self.avg_total_latency,
             "avg_hops": self.avg_hops,

@@ -98,6 +98,26 @@ class RouterParams:
     flits_per_vc: int = 5
     link_width_bits: int = 128
 
+    def __post_init__(self) -> None:
+        if self.num_ports < 2:
+            raise ValueError(
+                f"num_ports must be at least 2, got {self.num_ports}"
+            )
+        if not NUM_MESSAGE_CLASSES <= self.vcs_per_port <= 32:
+            raise ValueError(
+                f"vcs_per_port must be between {NUM_MESSAGE_CLASSES} (one "
+                f"VC per message class) and 32, got {self.vcs_per_port}"
+            )
+        if self.flits_per_vc < 1:
+            raise ValueError(
+                f"flits_per_vc must be positive, got {self.flits_per_vc}"
+            )
+        if self.link_width_bits < 1:
+            raise ValueError(
+                f"link_width_bits must be positive, got "
+                f"{self.link_width_bits}"
+            )
+
 
 @dataclass(frozen=True)
 class PraParams:
@@ -121,6 +141,20 @@ class PraParams:
     #: trigger ablation.
     use_memory_trigger: bool = False
 
+    def __post_init__(self) -> None:
+        if self.hops_per_cycle not in (1, 2):
+            raise ValueError(
+                f"pra hops_per_cycle must be 1 or 2, got "
+                f"{self.hops_per_cycle}"
+            )
+        if self.max_lag < 1:
+            raise ValueError(f"max_lag must be positive, got {self.max_lag}")
+        if self.reservation_horizon < 1:
+            raise ValueError(
+                f"reservation_horizon must be positive, got "
+                f"{self.reservation_horizon}"
+            )
+
 
 @dataclass(frozen=True)
 class SmartParams:
@@ -142,6 +176,18 @@ class NocParams:
     smart: SmartParams = field(default_factory=SmartParams)
     #: Ideal network: hops a header may cover per cycle.
     ideal_hops_per_cycle: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError(
+                f"mesh dimensions must be positive, got "
+                f"{self.mesh_width}x{self.mesh_height}"
+            )
+        if self.ideal_hops_per_cycle < 1:
+            raise ValueError(
+                f"ideal_hops_per_cycle must be positive, got "
+                f"{self.ideal_hops_per_cycle}"
+            )
 
     @property
     def num_nodes(self) -> int:

@@ -10,6 +10,7 @@ from :func:`simulate`; confidence intervals over seeds come from
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
@@ -40,6 +41,12 @@ class PerfSample:
     #: Link/buffer activity for the power model.
     flits_delivered: int = 0
     total_hops: int = 0
+    #: Packets injected during the interval but still in flight at its
+    #: end (not silently dropped from the report).
+    packets_unfinished: int = 0
+    #: True when the wall-clock limit cut the interval short; the
+    #: counters then cover only the cycles actually simulated.
+    timed_out: bool = False
 
     @property
     def ipc(self) -> float:
@@ -67,6 +74,8 @@ class PerfSample:
                 str(k): v for k, v in self.lag_distribution.items()
             },
             "pra_blocked_fraction": self.pra_blocked_fraction,
+            "packets_unfinished": self.packets_unfinished,
+            "timed_out": self.timed_out,
         }
 
 
@@ -108,17 +117,50 @@ class SystemSimulator:
 
     # -- measurement --------------------------------------------------------------
 
-    def run_sample(self, warmup: int = 2000, measure: int = 10000) -> PerfSample:
-        """Warm up, then measure one interval (the SimFlex recipe)."""
+    def run_sample(
+        self,
+        warmup: int = 2000,
+        measure: int = 10000,
+        wall_limit: Optional[float] = None,
+    ) -> PerfSample:
+        """Warm up, then measure one interval (the SimFlex recipe).
+
+        ``wall_limit`` bounds the *wall-clock* seconds spent in this call;
+        a run that exceeds it stops at a chunk boundary and reports the
+        cycles it did simulate with ``timed_out=True`` instead of hanging
+        the harness.
+        """
         if not self._started:
             for core in self.cores:
                 core.start()
             self._started = True
-        self.chip.run(warmup)
+        deadline = (
+            time.monotonic() + wall_limit if wall_limit is not None else None
+        )
+        self._run_budget(warmup, deadline)
         start = _Snapshot.take(self)
-        self.chip.run(measure)
+        before = self.chip.cycle
+        hit_limit = self._run_budget(measure, deadline)
         end = _Snapshot.take(self)
-        return self._diff(start, end, measure)
+        sample = self._diff(start, end, self.chip.cycle - before)
+        sample.timed_out = hit_limit
+        return sample
+
+    def _run_budget(
+        self, cycles: int, deadline: Optional[float], chunk: int = 256
+    ) -> bool:
+        """Run up to ``cycles``; True if the deadline cut the run short."""
+        if deadline is None:
+            self.chip.run(cycles)
+            return False
+        remaining = cycles
+        while remaining > 0:
+            if time.monotonic() >= deadline:
+                return True
+            step = min(chunk, remaining)
+            self.chip.run(step)
+            remaining -= step
+        return False
 
     def _diff(self, start: "_Snapshot", end: "_Snapshot",
               cycles: int) -> PerfSample:
@@ -150,6 +192,9 @@ class SystemSimulator:
             pra_blocked_fraction=(blocked / net_time) if net_time else 0.0,
             flits_delivered=end.flits - start.flits,
             total_hops=end.hops - start.hops,
+            packets_unfinished=(
+                (end.injected - start.injected) - packets
+            ),
         )
 
 
@@ -157,9 +202,9 @@ class _Snapshot:
     """Counter snapshot for interval differencing."""
 
     __slots__ = (
-        "instructions", "ejected", "lat_len", "txn_latency_sum",
-        "txn_latency_count", "control", "lag_counter", "blocked",
-        "flits", "hops",
+        "instructions", "injected", "ejected", "lat_len",
+        "txn_latency_sum", "txn_latency_count", "control", "lag_counter",
+        "blocked", "flits", "hops",
     )
 
     @classmethod
@@ -167,6 +212,7 @@ class _Snapshot:
         snap = cls()
         stats = sim.chip.network.stats
         snap.instructions = sum(c.instructions_retired for c in sim.cores)
+        snap.injected = stats.packets_injected
         snap.ejected = stats.packets_ejected
         snap.lat_len = len(stats.network_latencies)
         snap.txn_latency_sum = sum(stats.network_latencies)
@@ -187,14 +233,17 @@ def simulate(
     seed: int = 0,
     chip_params: Optional[ChipParams] = None,
     tracer=None,
+    wall_limit: Optional[float] = None,
 ) -> PerfSample:
     """One-call convenience wrapper: build, warm up, measure.
 
     Pass a :class:`~repro.trace.tracer.RingTracer` as ``tracer`` to
-    collect cycle-level lifecycle events over the whole run.
+    collect cycle-level lifecycle events over the whole run, and
+    ``wall_limit`` (seconds) to bound the run's wall-clock time.
     """
     sim = SystemSimulator(workload, noc_kind, chip_params=chip_params,
                           seed=seed)
     if tracer is not None:
         sim.chip.network.attach_tracer(tracer)
-    return sim.run_sample(warmup=warmup, measure=measure)
+    return sim.run_sample(warmup=warmup, measure=measure,
+                          wall_limit=wall_limit)

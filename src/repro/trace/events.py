@@ -20,6 +20,7 @@ kind                  emitted when
 ``reservation_commit``a plan step's timeslots/buffers are committed
 ``latch_bypass``      a pre-allocated flit is driven along a plan step
 ``eject``             a packet's tail flit reaches the destination NI
+``fault``             the chaos harness injected a fault at a named site
 ===================== =====================================================
 
 Events are deliberately flat (cycle, kind, pid, node + a small payload
@@ -48,6 +49,9 @@ EV_CONTROL_DROP = "control_drop"
 EV_RESERVATION_COMMIT = "reservation_commit"
 EV_LATCH_BYPASS = "latch_bypass"
 
+#: Injected faults (the chaos harness; carries ``site`` and ``fault``).
+EV_FAULT = "fault"
+
 ALL_KINDS = (
     EV_PACKET_INJECT,
     EV_LINK,
@@ -61,6 +65,7 @@ ALL_KINDS = (
     EV_CONTROL_DROP,
     EV_RESERVATION_COMMIT,
     EV_LATCH_BYPASS,
+    EV_FAULT,
 )
 
 #: Kinds that describe the construction and execution of a PRA plan;

@@ -40,6 +40,10 @@ class SyntheticTraffic:
     ):
         if not (0.0 <= injection_rate <= 1.0):
             raise ValueError("injection rate must be a probability")
+        if response_size < 1:
+            raise ValueError(
+                f"response_size must be at least 1 flit, got {response_size}"
+            )
         self.network = network
         self.pattern = pattern
         self.rate = injection_rate

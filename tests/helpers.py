@@ -52,6 +52,27 @@ def assert_quiescent(net: Network) -> None:
         if latches is not None:
             for direction, latch in latches.items():
                 assert not latch, f"latch not drained at {router.node}"
+        # PRA bookkeeping: no live reservation-table entries and no
+        # latch/input claims owned by a plan that is still pending
+        # (cancelled or finished plans merely await the periodic purge).
+        for port in router.output_ports.values():
+            table = getattr(port, "reservations", None)
+            if table is None:
+                continue
+            for slot, entry in list(table._slots.items()):
+                assert not entry.live, (
+                    f"live reservation leaked at router {router.node} "
+                    f"port {port.direction.name} slot {slot}: {entry.plan}"
+                )
+        for attr in ("_latch_claims", "_input_claims"):
+            claims = getattr(router, attr, None)
+            if claims is None:
+                continue
+            for key, plan in list(claims.items()):
+                assert plan.cancelled or plan.finished, (
+                    f"{attr} entry at router {router.node} {key} owned "
+                    f"by a pending plan: {plan}"
+                )
     for ni in net.interfaces:
         assert not ni.port.is_held, f"NI port held at {ni.node}"
         for queue in ni.queues:

@@ -1,0 +1,152 @@
+"""Randomized chaos sweeps: seeded mixed-fault schedules across every
+organization, with the invariant suite attached and raising.
+
+The graceful-degradation contract: under any schedule the generator
+produces, a network either delivers every packet and drains clean, or
+the run dies with a structured InvariantViolation — never a silent hang
+or a resource leak.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultInjector, FaultSchedule, LinkStall, StallWindow
+from repro.invariants import InvariantSuite
+from repro.noc.ring import build_ring
+from repro.noc.topology import Direction
+from repro.params import NocKind
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+from tests.helpers import assert_quiescent, make_network
+
+CYCLES = 500
+DRAIN_LIMIT = 5000
+
+
+def chaos_run(net, fault_seed, rate=0.03, cycles=CYCLES, intensity=1.0):
+    """One chaos run with checkers raising; returns the injector."""
+    schedule = FaultSchedule.random(
+        fault_seed, net.topology.num_nodes, cycles, intensity=intensity
+    )
+    injector = FaultInjector(schedule)
+    net.attach_faults(injector)
+    suite = InvariantSuite(audit_period=8)
+    net.attach_invariants(suite)
+    SyntheticTraffic(
+        net, TrafficPattern.UNIFORM_RANDOM, rate, seed=fault_seed + 1
+    ).run(cycles)
+    while (net.stats.in_flight and net.cycle < DRAIN_LIMIT
+           and not suite.watchdog_fired):
+        net.step()
+    assert suite.violations == []
+    assert net.stats.packets_ejected == net.stats.packets_injected, (
+        f"{net.stats.in_flight} packets lost under fault seed {fault_seed}: "
+        f"{injector.summary()}"
+    )
+    net.detach_invariants()
+    assert_quiescent(net)
+    return injector
+
+
+@pytest.mark.parametrize("fault_seed", [3, 11])
+@pytest.mark.parametrize(
+    "kind", [NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA]
+)
+def test_chaos_sweep_mesh_organizations(kind, fault_seed):
+    chaos_run(make_network(kind), fault_seed)
+
+
+@pytest.mark.parametrize("fault_seed", [3, 11])
+def test_chaos_sweep_ring(fault_seed):
+    chaos_run(build_ring(16), fault_seed)
+
+
+def test_chaos_high_intensity_pra():
+    """Crank every probability and window count up 3x on the PRA mesh —
+    the organization under test is the one with state to corrupt."""
+    injector = chaos_run(make_network(NocKind.MESH_PRA), fault_seed=5,
+                         rate=0.05, intensity=3.0)
+    counts = injector.counts
+    assert counts["control_drop"] > 0 or counts["control_blackout"] > 0
+
+
+def test_ring_stall_only_schedule():
+    net = build_ring(8)
+    schedule = FaultSchedule(
+        router_stalls=(StallWindow(node=2, start=40, duration=30),),
+        link_stalls=(
+            LinkStall(node=5, direction=Direction.EAST, start=60,
+                      duration=25),
+        ),
+    )
+    net.attach_faults(FaultInjector(schedule))
+    suite = InvariantSuite(audit_period=8)
+    net.attach_invariants(suite)
+    SyntheticTraffic(
+        net, TrafficPattern.UNIFORM_RANDOM, 0.04, seed=6
+    ).run(400)
+    while net.stats.in_flight and net.cycle < DRAIN_LIMIT:
+        net.step()
+    assert suite.violations == []
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    net.detach_invariants()
+    assert_quiescent(net)
+
+
+# -- the chaos CLI --------------------------------------------------------
+
+
+def test_chaos_cli_smoke(capsys):
+    rc = main(["chaos", "--noc", "mesh_pra", "--mesh", "4x4",
+               "--cycles", "300", "--rate", "0.02",
+               "--fault-seed", "5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "all packets delivered, all invariants held" in out
+    assert "faults injected" in out
+
+
+def test_chaos_cli_ring(capsys):
+    rc = main(["chaos", "--noc", "ring", "--mesh", "2x4",
+               "--cycles", "300", "--rate", "0.02",
+               "--fault-seed", "3"])
+    assert rc == 0
+    assert "organization:         ring" in capsys.readouterr().out
+
+
+# -- CLI input validation (exit 2, clean message) -------------------------
+
+
+def test_sweep_rejects_nonpositive_mesh(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--noc", "mesh", "--mesh", "0x4",
+              "--rates", "0.005", "--cycles", "100"])
+    assert exc.value.code == 2
+    assert "mesh dimensions must be positive" in capsys.readouterr().err
+
+
+def test_sweep_rejects_malformed_mesh(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--mesh", "4", "--rates", "0.005"])
+    assert exc.value.code == 2
+    assert "expected WxH" in capsys.readouterr().err
+
+
+def test_sweep_rejects_out_of_range_vcs(capsys):
+    rc = main(["sweep", "--noc", "mesh", "--vcs", "99",
+               "--rates", "0.005", "--cycles", "100"])
+    assert rc == 2
+    assert "vcs_per_port" in capsys.readouterr().err
+
+
+def test_sweep_accepts_custom_mesh_and_vcs(capsys):
+    rc = main(["sweep", "--noc", "mesh", "--mesh", "2x2", "--vcs", "4",
+               "--rates", "0.01", "--cycles", "200"])
+    assert rc == 0
+    assert "mesh" in capsys.readouterr().out
+
+
+def test_chaos_rejects_bad_rate(capsys):
+    rc = main(["chaos", "--noc", "mesh", "--rate", "1.5",
+               "--cycles", "100"])
+    assert rc == 2
+    assert "probability" in capsys.readouterr().err

@@ -1,0 +1,202 @@
+"""Fault-injection unit tests: determinism, each fault class in
+isolation, and reservation cleanup under control-packet loss.
+
+The graceful-degradation bar (every fault class, packets still arrive,
+resources still drain) is asserted here per class; the randomized
+mixed-schedule sweeps live in test_chaos.py.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    LinkStall,
+    NULL_FAULTS,
+    SegmentBlackout,
+    StallWindow,
+    mix01,
+)
+from repro.noc.topology import Direction
+from repro.params import NocKind
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+from tests.helpers import assert_quiescent, make_network
+
+NUM_NODES = 16  # 4x4, the size every test here uses
+
+
+def run_with_faults(kind, schedule, rate=0.04, cycles=400, seed=2,
+                    drain_limit=4000):
+    """Drive synthetic traffic under ``schedule``; return (net, injector)."""
+    net = make_network(kind)
+    injector = FaultInjector(schedule)
+    net.attach_faults(injector)
+    SyntheticTraffic(
+        net, TrafficPattern.UNIFORM_RANDOM, rate, seed=seed
+    ).run(cycles)
+    while net.stats.in_flight and net.cycle < drain_limit:
+        net.step()
+    return net, injector
+
+
+# -- determinism ----------------------------------------------------------
+
+
+def test_mix01_is_deterministic_and_bounded():
+    assert mix01(1, 2, 3) == mix01(1, 2, 3)
+    assert mix01(1, 2, 3) != mix01(2, 2, 3)
+    assert mix01(1, 2, 3) != mix01(1, 3, 2)
+    values = [mix01(7, i) for i in range(1000)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    # Crude uniformity check: the mean of a uniform sample sits near 0.5.
+    assert 0.45 < sum(values) / len(values) < 0.55
+
+
+def test_random_schedule_is_reproducible():
+    a = FaultSchedule.random(5, NUM_NODES, 500)
+    b = FaultSchedule.random(5, NUM_NODES, 500)
+    assert a == b
+    assert FaultSchedule.random(6, NUM_NODES, 500) != a
+    assert a.router_stalls and a.link_stalls and a.blackouts
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        FaultSchedule(control_drop_prob=1.5)
+    with pytest.raises(ValueError):
+        StallWindow(node=0, start=0, duration=0)
+    with pytest.raises(ValueError):
+        LinkStall(node=0, direction=Direction.EAST, start=0, duration=-1)
+    with pytest.raises(ValueError):
+        SegmentBlackout(nodes=frozenset({1}), start=0, duration=0)
+    with pytest.raises(ValueError):
+        FaultSchedule.random(1, NUM_NODES, horizon=5)
+    with pytest.raises(ValueError):
+        FaultSchedule.random(1, NUM_NODES, 500, intensity=-1)
+    assert FaultSchedule().is_empty
+    assert not FaultSchedule.random(1, NUM_NODES, 500).is_empty
+
+
+def test_null_injector_is_disabled():
+    assert NULL_FAULTS.enabled is False
+    assert FaultInjector(FaultSchedule()).enabled is True
+
+
+def test_identical_schedules_replay_identically():
+    """Fault decisions hash (seed, site, node, pid, cycle), so a replay
+    reproduces bit for bit — provided packet numbering restarts too."""
+    from repro.noc.packet import reset_packet_ids
+
+    schedule = FaultSchedule.random(9, NUM_NODES, 400)
+    reset_packet_ids()
+    net_a, inj_a = run_with_faults(NocKind.MESH_PRA, schedule)
+    reset_packet_ids()
+    net_b, inj_b = run_with_faults(NocKind.MESH_PRA, schedule)
+    assert net_a.stats.summary() == net_b.stats.summary()
+    assert inj_a.counts == inj_b.counts
+
+
+# -- each fault class in isolation ---------------------------------------
+
+
+def test_total_control_drop_degrades_to_baseline():
+    """With every control packet eaten at injection, PRA must behave
+    exactly like a plain mesh: no plans, everything still delivered."""
+    schedule = FaultSchedule(seed=1, control_drop_prob=1.0)
+    net, injector = run_with_faults(NocKind.MESH_PRA, schedule)
+    assert injector.counts["control_drop"] > 0
+    assert net.stats.pra_planned_packets == 0
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+def test_ack_loss_keeps_committed_prefix_consistent():
+    """Total ACK loss truncates every run at its first segment boundary;
+    the already committed reservations must still execute and drain."""
+    schedule = FaultSchedule(seed=1, ack_loss_prob=1.0)
+    net, injector = run_with_faults(NocKind.MESH_PRA, schedule)
+    assert injector.counts["ack_loss"] > 0
+    assert net.stats.control_drop_reasons["fault_ack_loss"] > 0
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+def test_plan_expiry_refunds_all_claims():
+    schedule = FaultSchedule(seed=1, plan_expiry_prob=1.0)
+    net, injector = run_with_faults(NocKind.MESH_PRA, schedule)
+    assert injector.counts["plan_expired"] > 0
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+def test_segment_drop_never_strands_resources():
+    schedule = FaultSchedule(seed=3, segment_drop_prob=0.5)
+    net, injector = run_with_faults(NocKind.MESH_PRA, schedule)
+    assert injector.counts["control_drop"] > 0
+    assert net.stats.control_drop_reasons["fault_drop"] > 0
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+@pytest.mark.parametrize("kind", [NocKind.MESH, NocKind.MESH_PRA])
+def test_router_stall_window_recovers(kind):
+    schedule = FaultSchedule(router_stalls=(
+        StallWindow(node=5, start=50, duration=40),
+        StallWindow(node=10, start=80, duration=25),
+    ))
+    net, _ = run_with_faults(kind, schedule)
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+@pytest.mark.parametrize("kind",
+                         [NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA])
+def test_link_stall_window_recovers(kind):
+    schedule = FaultSchedule(link_stalls=(
+        LinkStall(node=5, direction=Direction.EAST, start=50, duration=40),
+        LinkStall(node=6, direction=Direction.WEST, start=60, duration=30),
+    ))
+    net, _ = run_with_faults(kind, schedule)
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+def test_blackout_degrades_control_only():
+    """A full control blackout may stop new plans but must not touch
+    data delivery."""
+    schedule = FaultSchedule(blackouts=(
+        SegmentBlackout(nodes=frozenset(range(NUM_NODES)), start=40,
+                        duration=80),
+    ))
+    net, injector = run_with_faults(NocKind.MESH_PRA, schedule, rate=0.05)
+    assert injector.counts["control_blackout"] > 0
+    assert net.stats.packets_ejected == net.stats.packets_injected
+    assert_quiescent(net)
+
+
+def test_link_stall_refuses_overlapping_reservations():
+    """The control network must not commit timeslots onto a link whose
+    stall window overlaps them (they would expire unexecuted)."""
+    injector = FaultInjector(FaultSchedule(link_stalls=(
+        LinkStall(node=3, direction=Direction.EAST, start=100, duration=20),
+    )))
+    assert injector.link_window_blocked(3, Direction.EAST, 110, 2)
+    assert injector.link_window_blocked(3, Direction.EAST, 98, 5)
+    assert injector.link_window_blocked(3, Direction.EAST, 119, 1)
+    assert not injector.link_window_blocked(3, Direction.EAST, 120, 4)
+    assert not injector.link_window_blocked(3, Direction.EAST, 95, 5)
+    assert not injector.link_window_blocked(3, Direction.WEST, 110, 2)
+    assert not injector.link_window_blocked(4, Direction.EAST, 110, 2)
+
+
+def test_plan_expiry_lands_strictly_before_start_slot():
+    injector = FaultInjector(FaultSchedule(seed=3, plan_expiry_prob=1.0))
+    for pid in range(50):
+        for start in range(3, 15):
+            expire_at = injector.plan_expiry(pid, now=0, start_slot=start)
+            assert expire_at is not None
+            assert 0 < expire_at < start
+    # Too tight a window: cancelling at/after the start slot could
+    # strand latched flits, so no expiry is scheduled at all.
+    assert injector.plan_expiry(1, now=0, start_slot=1) is None
+    assert injector.plan_expiry(1, now=5, start_slot=6) is None
