@@ -1,0 +1,34 @@
+"""Self-measuring benchmark harness (``python -m repro bench``).
+
+The harness answers one question continuously: *how fast is the
+simulator on this machine, right now?*  It runs a pinned suite of
+micro-benchmarks (cycles/second per network organization on the smoke
+workload) and one macro-benchmark (wall time of the full evaluation
+grid), writes the results to a ``BENCH_<stamp>.json`` report, and can
+diff two reports — normalizing by a per-machine calibration loop so
+reports from different hosts remain comparable.
+
+See ``docs/performance.md`` for the profiling workflow built on top.
+"""
+
+from repro.bench.harness import (
+    calibrate,
+    compare_reports,
+    machine_info,
+    profile_micro,
+    render_compare,
+    render_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "calibrate",
+    "compare_reports",
+    "machine_info",
+    "profile_micro",
+    "render_compare",
+    "render_report",
+    "run_bench",
+    "write_report",
+]

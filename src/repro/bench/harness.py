@@ -1,0 +1,290 @@
+"""The benchmark suite: pinned workloads, reports, and comparisons.
+
+Every measurement in a report is wall-clock based, so two reports are
+only directly comparable on the same machine.  To keep cross-machine
+comparisons (CI runners, laptops) meaningful, each report embeds a
+*calibration score* — the throughput of a fixed pure-Python loop on the
+measuring host — and :func:`compare_reports` scores regressions on
+calibration-normalized throughput when both reports carry a score.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import platform
+import pstats
+import subprocess
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.runner import (
+    ALL_KINDS,
+    EvaluationScale,
+    clear_grid_cache,
+    evaluation_grid,
+    get_scale,
+)
+from repro.params import NocKind
+from repro.perf.system import SystemSimulator
+
+#: Report format version (bump on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+#: The pinned micro-benchmark configuration.  Changing any of these
+#: invalidates comparisons against older reports, so don't.
+MICRO_WORKLOAD = "Web Search"
+MICRO_SEED = 5
+
+#: Iterations of the calibration loop (~0.1 s on a 2020s-era core).
+_CALIBRATION_ITERS = 2_000_000
+
+
+def calibrate(rounds: int = 5) -> float:
+    """Millions of iterations/second of a fixed arithmetic loop.
+
+    A crude single-core Python speed score: the loop exercises integer
+    arithmetic and attribute-free name lookups, which is roughly what
+    the simulator's hot path is made of.  Best-of-``rounds`` to shed
+    scheduler noise.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        acc = 0
+        start = time.perf_counter()
+        for i in range(_CALIBRATION_ITERS):
+            acc += i & 7
+        elapsed = time.perf_counter() - start
+        best = max(best, _CALIBRATION_ITERS / elapsed / 1e6)
+    return best
+
+
+def machine_info() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "calibration_mips": round(calibrate(), 2),
+    }
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+# -- micro: cycles/second per organization --------------------------------
+
+
+def _time_micro_cell(kind: NocKind, scale: EvaluationScale) -> Tuple[int, float]:
+    """(simulated cycles, wall seconds) of one pinned full-system run."""
+    sim = SystemSimulator(MICRO_WORKLOAD, kind, seed=MICRO_SEED)
+    cycles = scale.warmup + scale.measure
+    start = time.perf_counter()
+    sim.run_sample(warmup=scale.warmup, measure=scale.measure)
+    return cycles, time.perf_counter() - start
+
+
+def run_micro(scale: EvaluationScale, repeat: int = 2) -> Dict[str, dict]:
+    """Best-of-``repeat`` cycles/second for each organization."""
+    results: Dict[str, dict] = {}
+    for kind in ALL_KINDS:
+        best_wall = None
+        cycles = 0
+        for _ in range(max(1, repeat)):
+            cycles, wall = _time_micro_cell(kind, scale)
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        results[kind.value] = {
+            "cycles": cycles,
+            "wall_s": round(best_wall, 4),
+            "cycles_per_sec": round(cycles / best_wall, 1),
+        }
+    return results
+
+
+def profile_micro(scale: EvaluationScale, top: int = 20) -> str:
+    """cProfile the micro suite; return the top-``top`` lines by
+    internal time (the profiling workflow in docs/performance.md)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for kind in ALL_KINDS:
+        _time_micro_cell(kind, scale)
+    profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(top)
+    return buf.getvalue()
+
+
+# -- macro: evaluation-grid wall time -------------------------------------
+
+
+def run_macro(scale: EvaluationScale) -> Dict[str, object]:
+    """Wall time of the full {workload} x {organization} grid."""
+    clear_grid_cache()  # measure real work, not the process-level cache
+    start = time.perf_counter()
+    grid = evaluation_grid(scale=scale)
+    wall = time.perf_counter() - start
+    clear_grid_cache()
+    return {
+        "cells": len(grid),
+        "wall_s": round(wall, 3),
+        "jobs": os.environ.get("REPRO_JOBS", "1"),
+    }
+
+
+# -- reports ---------------------------------------------------------------
+
+
+def run_bench(
+    scale: Optional[EvaluationScale] = None,
+    repeat: int = 2,
+    include_macro: bool = True,
+) -> Dict[str, object]:
+    scale = scale or get_scale()
+    start = time.perf_counter()
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "stamp": time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()),
+        "git_rev": git_rev(),
+        "scale": scale.name,
+        "machine": machine_info(),
+        "micro": run_micro(scale, repeat=repeat),
+    }
+    if include_macro:
+        report["macro"] = run_macro(scale)
+    report["total_wall_s"] = round(time.perf_counter() - start, 3)
+    return report
+
+
+def write_report(report: Dict[str, object],
+                 out: Optional[str] = None) -> str:
+    path = out or f"BENCH_{report['stamp']}.json"
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def render_report(report: Dict[str, object]) -> str:
+    lines = [
+        f"bench report {report['stamp']}  "
+        f"(rev {report['git_rev']}, scale {report['scale']})",
+        f"machine: {report['machine']['platform']}  "
+        f"python {report['machine']['python']}  "
+        f"calibration {report['machine']['calibration_mips']} Mips",
+        "",
+        f"{'organization':<12} {'cycles':>8} {'wall (s)':>10} "
+        f"{'cycles/sec':>12}",
+    ]
+    for org, cell in report["micro"].items():
+        lines.append(
+            f"{org:<12} {cell['cycles']:>8} {cell['wall_s']:>10.3f} "
+            f"{cell['cycles_per_sec']:>12.0f}"
+        )
+    macro = report.get("macro")
+    if macro:
+        lines.append("")
+        lines.append(
+            f"evaluation grid: {macro['cells']} cells in "
+            f"{macro['wall_s']:.2f} s (REPRO_JOBS={macro['jobs']})"
+        )
+    lines.append(f"total: {report['total_wall_s']:.2f} s")
+    return "\n".join(lines)
+
+
+# -- comparisons -----------------------------------------------------------
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema "
+            f"{report.get('schema')!r} (expected {SCHEMA_VERSION})"
+        )
+    return report
+
+
+def compare_reports(
+    path_a: str, path_b: str, fail_threshold: Optional[float] = None
+) -> Tuple[List[dict], bool]:
+    """Per-organization throughput deltas of report B relative to A.
+
+    When both reports carry a calibration score, a *normalized* delta
+    (throughput divided by the host's calibration score) is reported
+    next to the raw one, so a slower CI runner does not read as a
+    simulator regression.  An organization counts as regressed only
+    when **both** deltas are below ``-fail_threshold``: raw-only drops
+    are machine-speed differences, normalized-only drops are
+    calibration noise.  Returns (rows, failed).
+    """
+    a, b = _load(path_a), _load(path_b)
+    cal_a = a["machine"].get("calibration_mips")
+    cal_b = b["machine"].get("calibration_mips")
+    normalized = bool(cal_a and cal_b)
+    rows: List[dict] = []
+    failed = False
+    for org in a["micro"]:
+        if org not in b["micro"]:
+            continue
+        cps_a = a["micro"][org]["cycles_per_sec"]
+        cps_b = b["micro"][org]["cycles_per_sec"]
+        raw_delta = (cps_b - cps_a) / cps_a if cps_a else 0.0
+        if normalized:
+            norm_delta = ((cps_b / cal_b) - (cps_a / cal_a)) / (cps_a / cal_a)
+        else:
+            norm_delta = raw_delta
+        regressed = (
+            fail_threshold is not None
+            and raw_delta < -fail_threshold
+            and norm_delta < -fail_threshold
+        )
+        failed = failed or regressed
+        rows.append({
+            "org": org,
+            "a": cps_a,
+            "b": cps_b,
+            "raw_delta": raw_delta,
+            "norm_delta": norm_delta,
+            "regressed": regressed,
+        })
+    return rows, failed
+
+
+def render_compare(rows: List[dict], path_a: str, path_b: str,
+                   fail_threshold: Optional[float]) -> str:
+    lines = [
+        f"A: {path_a}",
+        f"B: {path_b}",
+        "",
+        f"{'organization':<12} {'A cyc/s':>10} {'B cyc/s':>10} "
+        f"{'raw':>8} {'normalized':>11}",
+    ]
+    for row in rows:
+        flag = "  REGRESSED" if row["regressed"] else ""
+        lines.append(
+            f"{row['org']:<12} {row['a']:>10.0f} {row['b']:>10.0f} "
+            f"{row['raw_delta']:>+7.1%} {row['norm_delta']:>+10.1%}{flag}"
+        )
+    if fail_threshold is not None:
+        lines.append("")
+        lines.append(
+            f"fail threshold: normalized regression beyond "
+            f"{fail_threshold:.0%}"
+        )
+    return "\n".join(lines)

@@ -16,6 +16,10 @@ Commands:
   seeded fault schedule (dropped control packets, stalled routers and
   links, multi-drop blackouts) with the runtime invariant checkers
   attached; exits non-zero on violations or undelivered packets;
+* ``bench [--scale S] [--profile [N]] [--compare A B]`` — self-measure
+  simulator throughput (cycles/second per organization plus the
+  evaluation-grid wall time), write a ``BENCH_<stamp>.json`` report,
+  or diff two reports;
 * ``area`` / ``power`` — the analytic physical models;
 * ``params`` — echo the Table I configuration.
 """
@@ -313,6 +317,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_reports,
+        profile_micro,
+        render_compare,
+        render_report,
+        run_bench,
+        write_report,
+    )
+
+    if args.compare:
+        path_a, path_b = args.compare
+        rows, failed = compare_reports(
+            path_a, path_b, fail_threshold=args.fail_threshold
+        )
+        print(render_compare(rows, path_a, path_b, args.fail_threshold))
+        return 1 if failed else 0
+    scale = get_scale(args.scale)
+    if args.profile is not None:
+        print(profile_micro(scale, top=args.profile))
+        return 0
+    report = run_bench(scale, repeat=args.repeat,
+                       include_macro=not args.no_macro)
+    print(render_report(report))
+    path = write_report(report, out=args.out)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def _cmd_area(_args: argparse.Namespace) -> int:
     print(render_figure(figure8()))
     return 0
@@ -411,6 +444,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--intensity", type=float, default=1.0,
                    help="fault-schedule intensity multiplier")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "bench",
+        help="self-measuring performance benchmark of the simulator",
+    )
+    p.add_argument("--scale", default=None,
+                   help="smoke | default | full (or REPRO_SCALE)")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="timing repetitions per micro cell (best-of)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="report path (default: BENCH_<stamp>.json)")
+    p.add_argument("--no-macro", action="store_true",
+                   help="skip the evaluation-grid macro benchmark")
+    p.add_argument("--profile", type=int, nargs="?", const=20, default=None,
+                   metavar="N",
+                   help="cProfile the micro suite and print the top N "
+                        "functions instead of writing a report")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                   help="diff two BENCH_*.json reports instead of running")
+    p.add_argument("--fail-threshold", type=float, default=None,
+                   metavar="FRAC",
+                   help="with --compare: exit non-zero if any organization "
+                        "regressed by more than FRAC (e.g. 0.30)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("area", help="Figure 8 area model")
     p.set_defaults(func=_cmd_area)

@@ -396,6 +396,12 @@ class ControlNetwork:
                 )
                 via_router.claim_input(direction.opposite, slot + i, run.plan)
         run.plan.claim_landing_vc(landing_port, vc_index)
+        # The reserved routers must be stepping when their slots arrive
+        # even if no flit is buffered there; has_work() keeps them awake
+        # until the tables drain.
+        self.network.wake_router(node)
+        if via_router is not None:
+            self.network.wake_router(via_router.node)
         tracer = self.network.tracer
         if tracer.enabled:
             tracer.emit(
@@ -455,6 +461,7 @@ class ControlNetwork:
                 slot + i, ReservationEntry(run.plan, step, i, is_driver=True)
             )
             driver.claim_input(src_dir, slot + i, run.plan)
+        self.network.wake_router(node)
         tracer = self.network.tracer
         if tracer.enabled:
             tracer.emit(

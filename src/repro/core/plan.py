@@ -152,8 +152,11 @@ class PraPlan:
             router.release_latch_claim(key, self)
         for router, key in self.input_claims:
             router.release_input_claim(key, self)
-        # Reservation-table entries are checked lazily: tables skip and
-        # purge entries whose plan is cancelled.
+        # Void reservation-table entries eagerly so the tables' pending
+        # counters stay exact; the tables also skip any entry whose plan
+        # is cancelled, so a missed void degrades gracefully.
+        for table, slot in self.table_entries:
+            table.void(slot, self)
         if self.source_interface is not None:
             if self.injection_claim:
                 vc = self.source_interface.port.downstream_vc(

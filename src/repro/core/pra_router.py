@@ -25,7 +25,7 @@ from repro.core.reservation import ReservationEntry, ReservationTable
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
 from repro.noc.ports import OutputPort
-from repro.noc.router import CREDIT_DELAY, PORT_ORDER, MeshRouter
+from repro.noc.router import CREDIT_DELAY, MeshRouter
 from repro.noc.topology import Direction
 from repro.noc.vc import VirtualChannel
 from repro.trace.events import EV_LATCH_BYPASS
@@ -62,6 +62,9 @@ class PraRouter(MeshRouter):
         #: Crossbar-input promises: (direction, slot) -> plan.
         self._input_claims: Dict[Tuple[Direction, int], PraPlan] = {}
         self._last_purge = 0
+        #: Cached PRA knobs (the step loop reads them every cycle).
+        self._use_lsd = network.params.pra.use_lsd_trigger
+        self._max_lag = network.params.pra.max_lag
 
     def _make_output_port(self, direction: Direction) -> PraOutputPort:
         return PraOutputPort(
@@ -115,28 +118,39 @@ class PraRouter(MeshRouter):
         if vc_index == LATCH_INDEX:
             self._latches[direction].append(flit)
             self.active_flits += 1
+            self.network.wake_router(self.node)
             return
         super().receive_flit(direction, vc_index, flit)
+
+    def has_work(self) -> bool:
+        """Awake while flits are buffered or any reservation is pending.
+
+        Keeping the router awake through its reserved slots reproduces
+        the always-stepping behavior exactly: the PRA arbiter must run
+        at every reserved cycle even when no flit is buffered locally.
+        """
+        if self.active_flits > 0:
+            return True
+        for port in self.port_list:
+            if port.reservations._count:
+                return True
+        return False
 
     # -- per-cycle processing ---------------------------------------------------
 
     def step(self, now: int) -> None:
-        has_reservations = False
-        for port in self.output_ports.values():
-            if port.reservations._slots:
-                has_reservations = True
-                break
-        if self.active_flits == 0 and not has_reservations:
-            return
         used_inputs: Set[Direction] = set()
         busy_dirs: Set[Direction] = set()
-        if has_reservations:
-            # The PRA arbiter runs even under an injected router stall:
-            # the paper splits it from the local arbiter (Figure 4), and
-            # committed reservations are the only thing that drains
-            # latches — freezing them would strand flits forever instead
-            # of modeling a recoverable hardware hiccup.
-            self._execute_reservations(now, used_inputs, busy_dirs)
+        # The PRA arbiter runs even under an injected router stall:
+        # the paper splits it from the local arbiter (Figure 4), and
+        # committed reservations are the only thing that drains
+        # latches — freezing them would strand flits forever instead
+        # of modeling a recoverable hardware hiccup.
+        self._execute_reservations(now, used_inputs, busy_dirs)
+        if self.active_flits == 0:
+            # Awake purely for reserved slots (driving a bypass or
+            # pinning resources): the local arbiter has nothing to do.
+            return
         faults = self.network.faults
         stalled = faults.enabled and faults.router_stalled(self.node, now)
         if stalled:
@@ -144,21 +158,20 @@ class PraRouter(MeshRouter):
                 self._purge(now)
             return
         candidates = self._collect_head_candidates()
-        for direction in PORT_ORDER:
-            port = self.output_ports.get(direction)
-            if port is None:
-                continue
+        for port in self.port_list:
+            direction = port.direction
             if faults.enabled and port.fault_stalled(now):
                 continue
             if direction in busy_dirs:
                 self._count_blocked(candidates.get(direction), used_inputs)
                 continue
-            if port.is_held:
+            if port.held_by is not None:
                 self._advance_held(port, now, used_inputs)
             else:
-                self._try_grant(port, direction, now, used_inputs,
-                                candidates.get(direction, ()))
-        if self.network.params.pra.use_lsd_trigger:
+                group = candidates.get(direction)
+                if group:
+                    self._try_grant(port, direction, now, used_inputs, group)
+        if self._use_lsd:
             self._lsd_scan(now, candidates)
         if now - self._last_purge >= _PURGE_PERIOD:
             self._purge(now)
@@ -168,11 +181,11 @@ class PraRouter(MeshRouter):
     def _execute_reservations(
         self, now: int, used_inputs: Set[Direction], busy_dirs: Set[Direction]
     ) -> None:
-        for direction in PORT_ORDER:
-            port = self.output_ports.get(direction)
-            if port is None:
+        for port in self.port_list:
+            table = port.reservations
+            if table._count == 0:
                 continue
-            entry = port.reservations.pop(now)
+            entry = table.pop(now)
             if entry is None:
                 continue
             if not entry.is_driver:
@@ -181,7 +194,7 @@ class PraRouter(MeshRouter):
                 # pin the port and the crossbar input for the cycle.  A
                 # normally allocated transmission holding the port simply
                 # skips this cycle (the PRA arbiter has priority).
-                busy_dirs.add(direction)
+                busy_dirs.add(port.direction)
                 used_inputs.add(entry.step.out_dir.opposite)
                 continue
             self._drive_entry(port, entry, now, used_inputs, busy_dirs)
@@ -303,7 +316,7 @@ class PraRouter(MeshRouter):
         Only head flits at the front of a VC can be stalled waiting for
         an output port, so the scan reuses the cycle's candidate map.
         """
-        max_lag = self.network.params.pra.max_lag
+        max_lag = self._max_lag
         for vcs in candidates.values():
             for vc in vcs:
                 front = vc.front()

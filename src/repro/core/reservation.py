@@ -6,17 +6,28 @@ allocated (*Valid*), which input port and VC the packet comes from
 (*Input Select*, *Local VC Select*), and which downstream VC it goes to
 (*Downstream VC Select*), shifting left one slot per cycle.
 
-We model the same state as a small absolute-cycle-keyed table with a
-bounded horizon.  Entries reference the :class:`~repro.core.plan.PraPlan`
-they belong to, so a cancelled plan voids all its entries lazily (the
-hardware equivalent: the valid bit is cleared when the expected flit
-does not show up, freeing the slot for the local arbiter).
+We model the same state as a fixed-size ring buffer indexed by
+``slot % size``: live entries always fall inside ``[now, now + horizon]``
+(reservations are only placed for future slots and the PRA arbiter pops
+each slot's entry on its cycle), so a ring of ``horizon + 2`` cells can
+never alias two live slots.  This keeps every hot-path operation —
+``pop``/``entry_at``/``is_free``/emptiness — a single indexed load, where
+the previous dict-backed table scanned ``list(self._slots.items())`` on
+each ``has_pending*`` probe.
+
+Entries reference the :class:`~repro.core.plan.PraPlan` they belong to.
+A cancelled plan voids its entries *eagerly* (``PraPlan.cancel`` calls
+:meth:`ReservationTable.void`); the queries additionally treat any entry
+whose plan is cancelled as absent, which keeps the table correct even if
+``cancelled`` is flipped without going through ``cancel()`` (the
+hardware equivalent either way: the valid bit is cleared, freeing the
+slot for the local arbiter).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.plan import PlanStep, PraPlan
 from repro.params import MessageClass
@@ -43,22 +54,40 @@ class ReservationEntry:
 class ReservationTable:
     """Future-timeslot allocations of a single output port."""
 
+    __slots__ = ("horizon", "_size", "_ring", "_count")
+
     def __init__(self, horizon: int):
         self.horizon = horizon
-        self._slots: Dict[int, ReservationEntry] = {}
+        self._size = horizon + 2
+        #: ``_ring[slot % _size]`` is ``(slot, entry)`` or None.
+        self._ring: List[Optional[Tuple[int, ReservationEntry]]] = (
+            [None] * self._size
+        )
+        self._count = 0
 
     def __len__(self) -> int:
-        return len(self._slots)
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def _slots(self) -> Dict[int, ReservationEntry]:
+        """Dict view of occupied cells (invariant checkers and tests)."""
+        return {cell[0]: cell[1] for cell in self._ring if cell is not None}
 
     # -- queries ------------------------------------------------------------
 
     def entry_at(self, slot: int) -> Optional[ReservationEntry]:
         """Live entry at ``slot`` (purging a cancelled one)."""
-        entry = self._slots.get(slot)
-        if entry is None:
+        idx = slot % self._size
+        cell = self._ring[idx]
+        if cell is None or cell[0] != slot:
             return None
-        if not entry.live:
-            del self._slots[slot]
+        entry = cell[1]
+        if entry.plan.cancelled:
+            self._ring[idx] = None
+            self._count -= 1
             return None
         return entry
 
@@ -67,23 +96,35 @@ class ReservationTable:
 
     def window_free(self, first_slot: int, count: int) -> bool:
         """True when ``count`` consecutive slots are unallocated."""
-        return all(self.is_free(first_slot + i) for i in range(count))
+        entry_at = self.entry_at
+        return all(
+            entry_at(first_slot + i) is None for i in range(count)
+        )
 
     def within_horizon(self, now: int, first_slot: int, count: int) -> bool:
         return first_slot + count - 1 <= now + self.horizon
 
     def has_pending(self, now: int) -> bool:
         """Any live allocation at or after ``now``?"""
+        if self._count == 0:
+            return False
         return any(
-            slot >= now and entry.live
-            for slot, entry in list(self._slots.items())
+            cell is not None
+            and cell[0] >= now
+            and not cell[1].plan.cancelled
+            for cell in self._ring
         )
 
     def has_pending_multiflit(self, now: int, msg_class: MessageClass) -> bool:
         """The paper's per-class multi-flit interleaving flag: true when
         a multi-flit packet of ``msg_class`` holds future slots here."""
-        for slot, entry in list(self._slots.items()):
-            if slot < now or not entry.live:
+        if self._count == 0:
+            return False
+        for cell in self._ring:
+            if cell is None or cell[0] < now:
+                continue
+            entry = cell[1]
+            if entry.plan.cancelled:
                 continue
             packet = entry.plan.packet
             if packet.is_multi_flit and packet.msg_class is msg_class:
@@ -93,20 +134,44 @@ class ReservationTable:
     # -- updates -------------------------------------------------------------
 
     def reserve(self, slot: int, entry: ReservationEntry) -> None:
-        if slot in self._slots and self._slots[slot].live:
-            raise RuntimeError("double-booked reservation slot")
-        self._slots[slot] = entry
+        idx = slot % self._size
+        cell = self._ring[idx]
+        if cell is not None:
+            if cell[0] == slot and not cell[1].plan.cancelled:
+                raise RuntimeError("double-booked reservation slot")
+            # Evict a stale or cancelled occupant of this ring cell.
+            self._count -= 1
+        self._ring[idx] = (slot, entry)
+        self._count += 1
         entry.plan.table_entries.append((self, slot))
 
     def pop(self, slot: int) -> Optional[ReservationEntry]:
         """Remove and return the live entry for ``slot``, if any."""
-        entry = self.entry_at(slot)
-        if entry is not None:
-            del self._slots[slot]
+        idx = slot % self._size
+        cell = self._ring[idx]
+        if cell is None or cell[0] != slot:
+            return None
+        self._ring[idx] = None
+        self._count -= 1
+        entry = cell[1]
+        if entry.plan.cancelled:
+            return None
         return entry
+
+    def void(self, slot: int, plan: PraPlan) -> None:
+        """Eagerly clear ``plan``'s entry at ``slot`` (plan cancelled)."""
+        idx = slot % self._size
+        cell = self._ring[idx]
+        if cell is not None and cell[0] == slot and cell[1].plan is plan:
+            self._ring[idx] = None
+            self._count -= 1
 
     def purge_before(self, now: int) -> None:
         """Drop stale slots (shift-left of the bit vectors)."""
-        stale = [slot for slot in self._slots if slot < now]
-        for slot in stale:
-            del self._slots[slot]
+        if self._count == 0:
+            return
+        ring = self._ring
+        for idx, cell in enumerate(ring):
+            if cell is not None and cell[0] < now:
+                ring[idx] = None
+                self._count -= 1

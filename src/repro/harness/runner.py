@@ -83,11 +83,25 @@ def _simulate_cell(cell: Tuple[str, NocKind, int, int, int]) -> PerfSample:
 
 
 def _num_jobs() -> int:
-    """Worker-process count from REPRO_JOBS (1 = in-process, default)."""
+    """Worker-process count from REPRO_JOBS.
+
+    ``1`` (the default) runs in-process, ``0`` means one worker per
+    CPU, anything else is taken literally.
+    """
     try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
     except ValueError:
         return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _simulate_indexed(item: Tuple[int, Tuple[str, NocKind, int, int, int]]):
+    """Pool entry point carrying the cell index (results arrive in
+    completion order under ``imap_unordered``)."""
+    index, cell = item
+    return index, _simulate_cell(cell)
 
 
 def evaluation_grid(
@@ -117,8 +131,19 @@ def evaluation_grid(
     if jobs > 1 and len(cells) > 1:
         import multiprocessing
 
-        with multiprocessing.Pool(min(jobs, len(cells))) as pool:
-            results = pool.map(_simulate_cell, cells)
+        # Unordered completion keeps every worker busy regardless of
+        # how unevenly cell runtimes are distributed (ideal cells run
+        # ~5x faster than mesh+pra cells); small chunks bound the
+        # tail-latency cost of a slow chunk landing on one worker.
+        workers = min(jobs, len(cells))
+        chunksize = max(1, len(cells) // (workers * 4))
+        results: list = [None] * len(cells)
+        with multiprocessing.Pool(workers) as pool:
+            for index, sample in pool.imap_unordered(
+                _simulate_indexed, list(enumerate(cells)),
+                chunksize=chunksize,
+            ):
+                results[index] = sample
     else:
         results = [_simulate_cell(cell) for cell in cells]
     by_key: Dict[GridKey, list] = {}

@@ -28,7 +28,7 @@ class Flit:
     ``index`` is the flit's position within the packet (0 = head).
     """
 
-    __slots__ = ("packet", "index", "kind")
+    __slots__ = ("packet", "index", "kind", "is_head", "is_tail")
 
     def __init__(self, packet: "Packet", index: int):
         size = packet.size
@@ -36,6 +36,10 @@ class Flit:
             raise ValueError(f"flit index {index} outside packet of {size}")
         self.packet = packet
         self.index = index
+        #: Materialized head/tail flags: the arbiters read these on
+        #: every flit move, so a property would dominate the hot path.
+        self.is_head = index == 0
+        self.is_tail = index == size - 1
         if size == 1:
             self.kind = FlitType.HEAD_TAIL
         elif index == 0:
@@ -44,14 +48,6 @@ class Flit:
             self.kind = FlitType.TAIL
         else:
             self.kind = FlitType.BODY
-
-    @property
-    def is_head(self) -> bool:
-        return self.kind in (FlitType.HEAD, FlitType.HEAD_TAIL)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.kind in (FlitType.TAIL, FlitType.HEAD_TAIL)
 
     def __repr__(self) -> str:
         return f"Flit(pkt={self.packet.pid}, idx={self.index}, {self.kind.value})"

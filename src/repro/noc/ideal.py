@@ -40,6 +40,9 @@ class IdealNetwork(Network):
         self._waiting: List[Deque[Packet]] = [
             deque() for _ in range(self.topology.num_nodes)
         ]
+        #: Nodes with a non-empty waiting queue (iterated in sorted
+        #: order so blocked packets keep competing in fixed node order).
+        self._busy_nodes: set = set()
         #: (position, packet) arrivals becoming visible next cycle.
         self._arrivals: Dict[int, List[Tuple[int, Packet]]] = {}
         #: Flit-link traversals, for utilization accounting.
@@ -50,9 +53,15 @@ class IdealNetwork(Network):
     def send(self, packet: Packet) -> None:
         self.stats.record_injection(packet)
         # The NI-to-router wire costs one cycle, as in the other designs.
-        self._arrivals.setdefault(self.cycle + 1, []).append(
-            (packet.src, packet)
-        )
+        self._push_arrival(self.cycle + 1, packet.src, packet)
+
+    def _push_arrival(self, time: int, node: int, packet: Packet) -> None:
+        arrivals = self._arrivals
+        bucket = arrivals.get(time)
+        if bucket is None:
+            arrivals[time] = [(node, packet)]
+        else:
+            bucket.append((node, packet))
 
     def step(self) -> None:
         now = self.cycle
@@ -64,46 +73,57 @@ class IdealNetwork(Network):
                 self._finish(packet, now)
             else:
                 self._waiting[node].append(packet)
+                self._busy_nodes.add(node)
         self._advance_waiting(now)
         if self.invariants is not None:
             self.invariants.on_cycle(self, now)
         self.cycle = now + 1
 
     def _advance_waiting(self, now: int) -> None:
-        for node in range(self.topology.num_nodes):
+        if not self._busy_nodes:
+            return
+        for node in sorted(self._busy_nodes):
             queue = self._waiting[node]
-            if not queue:
-                continue
-            remaining: Deque[Packet] = deque()
-            while queue:
+            # Rotate in place: every packet gets one try per cycle and
+            # blocked packets keep their FIFO order at the back.
+            for _ in range(len(queue)):
                 packet = queue.popleft()
                 if not self._try_move(node, packet, now):
-                    remaining.append(packet)
-            self._waiting[node] = remaining
+                    queue.append(packet)
+            if not queue:
+                self._busy_nodes.discard(node)
 
     # -- movement ---------------------------------------------------------------
 
     def _try_move(self, node: int, packet: Packet, now: int) -> bool:
         """Claim up to ``hops_per_cycle`` links; move if at least one."""
         window_end = now + packet.size
+        topo = self.topology
+        dir_cache = topo._xy_dir_cache
+        neighbor_table = topo._neighbor_table
+        num_nodes = topo.num_nodes
+        free_at = self._link_free_at
+        dst = packet.dst
         hops = 0
         position = node
         claimed: List[Tuple[int, Direction]] = []
-        while hops < self.hops_per_cycle and position != packet.dst:
-            direction = xy_next_direction(self.topology, position, packet.dst)
+        while hops < self.hops_per_cycle and position != dst:
+            direction = dir_cache.get(position * num_nodes + dst)
+            if direction is None:
+                direction = xy_next_direction(topo, position, dst)
             link = (position, direction)
-            if self._link_free_at.get(link, 0) > now:
+            if free_at.get(link, 0) > now:
                 break
             claimed.append(link)
-            position = self.topology.neighbor(position, direction)
+            position = neighbor_table[position][direction]
             hops += 1
         if hops == 0:
             return False
         for link in claimed:
-            self._link_free_at[link] = window_end
+            free_at[link] = window_end
         self._link_flits += hops * packet.size
         packet.hops_taken += hops
-        self._arrivals.setdefault(now + 1, []).append((position, packet))
+        self._push_arrival(now + 1, position, packet)
         return True
 
     def link_utilization(self) -> float:

@@ -56,6 +56,16 @@ class NetworkInterface:
         """Accept a packet from the tile for injection."""
         self.queues[packet.vc_index].append(packet)
         self.network.stats.record_injection(packet)
+        self.network.wake_ni(self.node)
+
+    def has_work(self) -> bool:
+        """Whether this NI must be stepped again next cycle.
+
+        A held port implies the holder packet is still at its queue
+        head (popped only on tail send), so checking the queues covers
+        mid-packet injection as well.
+        """
+        return any(self.queues)
 
     def queued_packets(self, msg_class: MessageClass) -> int:
         return len(self.queues[msg_class.value])
@@ -65,7 +75,7 @@ class NetworkInterface:
         faults = self.network.faults
         if faults.enabled and port.fault_stalled(now):
             return  # injection link inside a stall window
-        if port.is_held:
+        if port.held_by is not None:
             self._continue_holder(now)
             return
         self._arbitrate(now)

@@ -4,6 +4,16 @@ All cross-component effects (flit arrivals, credit returns, ejections,
 deferred calls) travel through time-stamped events executed at the start
 of their cycle, so the fixed router processing order can never leak
 same-cycle information between routers.
+
+The cycle loop is *activity-based*: instead of stepping every router and
+NI every cycle, the network keeps wake sets of components that might
+have work.  A component is woken when state lands on it (a flit arrives,
+a packet is enqueued, a reservation is placed) and re-arms itself while
+it still holds work; everything else is skipped.  Skipping is safe
+because an idle component's ``step`` is a no-op by construction — the
+wake sets only elide calls that would have returned immediately — so
+simulation results are bit-identical to exhaustive stepping (enforced
+by ``tests/test_golden_determinism.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 from repro.faults.injector import NULL_FAULTS
 from repro.noc.stats import NetworkStats
 from repro.noc.packet import Packet
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import CARDINALS, MeshTopology
 from repro.params import NocKind, NocParams
 from repro.trace.tracer import NULL_TRACER
 
@@ -37,6 +47,15 @@ class Network:
         self.stats = NetworkStats()
         self.routers: List = []
         self.interfaces: List = []
+        num_nodes = self.topology.num_nodes
+        #: Wake sets: a flag per node plus the queue of awake node ids.
+        #: The flag makes ``wake_*`` idempotent; the queue is sorted at
+        #: the top of each cycle so awake components still process in
+        #: fixed node order.
+        self._router_awake: List[bool] = [False] * num_nodes
+        self._router_queue: List[int] = []
+        self._ni_awake: List[bool] = [False] * num_nodes
+        self._ni_queue: List[int] = []
         self._events: Dict[int, list] = {}
         self._delivery_handler: Optional[DeliveryHandler] = None
         self._head_handler: Optional[DeliveryHandler] = None
@@ -99,14 +118,59 @@ class Network:
         cycles (the LLC-hit window).  Only Mesh+PRA uses this; every
         other organization ignores it."""
 
+    # -- wake registration (component API) --------------------------------
+
+    def wake_ni(self, node: int) -> None:
+        """Schedule the NI at ``node`` for processing this/next cycle."""
+        if not self._ni_awake[node]:
+            self._ni_awake[node] = True
+            self._ni_queue.append(node)
+
+    def wake_router(self, node: int) -> None:
+        """Schedule the router at ``node`` for processing this/next cycle."""
+        if not self._router_awake[node]:
+            self._router_awake[node] = True
+            self._router_queue.append(node)
+
     def step(self) -> None:
-        """Advance the network by one clock cycle."""
+        """Advance the network by one clock cycle.
+
+        Only awake components are stepped; each re-arms itself for the
+        next cycle while it still has buffered work (``has_work``).
+        Wakes raised by the events that just ran land in this cycle's
+        batch; wakes raised *during* the loops always target future
+        cycles (all cross-component effects are future-scheduled).
+        """
         now = self.cycle
         self._run_events(now)
-        for ni in self.interfaces:
-            ni.step(now)
-        for router in self.routers:
-            router.step(now)
+        batch = self._ni_queue
+        if batch:
+            self._ni_queue = []
+            batch.sort()
+            awake = self._ni_awake
+            interfaces = self.interfaces
+            for node in batch:
+                awake[node] = False
+            for node in batch:
+                ni = interfaces[node]
+                ni.step(now)
+                if not awake[node] and ni.has_work():
+                    awake[node] = True
+                    self._ni_queue.append(node)
+        batch = self._router_queue
+        if batch:
+            self._router_queue = []
+            batch.sort()
+            awake = self._router_awake
+            routers = self.routers
+            for node in batch:
+                awake[node] = False
+            for node in batch:
+                router = routers[node]
+                router.step(now)
+                if not awake[node] and router.has_work():
+                    awake[node] = True
+                    self._router_queue.append(node)
         self._post_router_step(now)
         if self.invariants is not None:
             self.invariants.on_cycle(self, now)
@@ -134,16 +198,46 @@ class Network:
         for _ in range(cycles):
             self.step()
 
-    def drain(self, max_cycles: int = 1_000_000) -> None:
-        """Run until every injected packet has been delivered."""
+    def drain(self, max_cycles: int = 1_000_000, check_every: int = 64) -> None:
+        """Run until every injected packet has been delivered.
+
+        The deadline comparison is only evaluated every ``check_every``
+        cycles; the in-flight count is still checked after every step so
+        the network stops on exactly the delivery cycle.
+        """
         deadline = self.cycle + max_cycles
-        while self.stats.in_flight > 0:
+        stats = self.stats
+        step = self.step
+        while stats.in_flight > 0:
             if self.cycle >= deadline:
                 raise RuntimeError(
-                    f"network failed to drain: {self.stats.in_flight} "
+                    f"network failed to drain: {stats.in_flight} "
                     f"packets in flight after {max_cycles} cycles"
+                    f"{self._drain_hint()}"
                 )
-            self.step()
+            for _ in range(min(check_every, deadline - self.cycle)):
+                step()
+                if stats.in_flight == 0:
+                    break
+
+    def _drain_hint(self) -> str:
+        """Wait-graph summary appended to the drain-failure message."""
+        try:
+            # Lazy import: checkers imports event tags from this module.
+            from repro.invariants.checkers import wait_graph
+
+            graph = wait_graph(self, self.cycle)
+        except Exception:  # pragma: no cover - diagnostics must not mask
+            return ""
+        blocked = graph.get("blocked", [])
+        cycles = graph.get("cycles", [])
+        if not blocked:
+            return ""
+        parts = [f"{len(blocked)} blocked packets"]
+        if cycles:
+            parts.append(f"{len(cycles)} wait cycles: {cycles[:4]!r}")
+        parts.append(f"head of wait graph: {blocked[:6]!r}")
+        return " (" + ", ".join(parts) + ")"
 
     # -- measurement -------------------------------------------------------
 
@@ -152,16 +246,12 @@ class Network:
         (router-to-router links only; 0.0 before any cycle runs)."""
         if self.cycle == 0 or not self.routers:
             return 0.0
-        from repro.noc.topology import CARDINALS
-
         flits = 0
         links = 0
         for router in self.routers:
-            for direction in CARDINALS:
-                port = router.output_ports.get(direction)
-                if port is not None:
-                    flits += port.flits_sent
-                    links += 1
+            for port in router.cardinal_ports:
+                flits += port.flits_sent
+                links += 1
         if links == 0:
             return 0.0
         return flits / (links * self.cycle)
@@ -171,7 +261,12 @@ class Network:
     def _push(self, time: int, event) -> None:
         if time <= self.cycle:
             raise ValueError("events must be scheduled in the future")
-        self._events.setdefault(time, []).append(event)
+        events = self._events
+        bucket = events.get(time)
+        if bucket is None:
+            events[time] = [event]
+        else:
+            bucket.append(event)
 
     def schedule_arrival(self, time, router, direction, vc_index, flit) -> None:
         self._push(time, (_ARRIVAL, router, direction, vc_index, flit))

@@ -40,6 +40,8 @@ class Packet:
         "dst",
         "msg_class",
         "size",
+        "vc_index",
+        "is_multi_flit",
         "flits",
         "created",
         "injected",
@@ -70,7 +72,10 @@ class Packet:
         self.dst = dst
         self.msg_class = msg_class
         self.size = size
-        self.flits: List[Flit] = [Flit(self, i) for i in range(size)]
+        #: Message classes map one-to-one onto VC indices; materialized
+        #: here because the hot paths read it constantly.
+        self.vc_index = msg_class.value
+        self.is_multi_flit = size > 1
         self.created = created
         self.injected: Optional[int] = None
         self.ejected: Optional[int] = None
@@ -88,14 +93,15 @@ class Packet:
         #: Dateline VC layer on ring interconnects (0 before crossing).
         self.ring_layer = 0
 
-    @property
-    def is_multi_flit(self) -> bool:
-        return self.size > 1
-
-    @property
-    def vc_index(self) -> int:
-        """Message classes map one-to-one onto VC indices."""
-        return self.msg_class.value
+    def __getattr__(self, name: str) -> Any:
+        # ``flits`` is materialized on first access: the ideal network
+        # moves whole packets and never looks at individual flits, so
+        # eager construction would waste a third of its runtime.
+        if name == "flits":
+            flits: List[Flit] = [Flit(self, i) for i in range(self.size)]
+            self.flits = flits
+            return flits
+        raise AttributeError(name)
 
     def network_latency(self) -> Optional[int]:
         if self.injected is None or self.ejected is None:

@@ -40,6 +40,7 @@ class OutputPort:
         "node",
         "downstream_router",
         "downstream_unit",
+        "downstream_dir",
         "ni_sink",
         "credits",
         "reserved",
@@ -72,6 +73,9 @@ class OutputPort:
         #: port (then ``ni_sink`` is set instead).
         self.downstream_router: Optional["BaseRouter"] = None
         self.downstream_unit: Optional[InputUnit] = None
+        #: Entry direction at the downstream router (cached off the unit
+        #: because every flit transmission reads it).
+        self.downstream_dir: Optional[Direction] = None
         self.ni_sink = None
         self.credits: List[int] = [vc_depth] * num_vcs
         #: Buffer space currently promised to proactively allocated
@@ -100,6 +104,7 @@ class OutputPort:
         self.downstream_router = downstream_router
         unit = downstream_router.input_units[entry]
         self.downstream_unit = unit
+        self.downstream_dir = entry
         unit.feeder_port = self
 
     def connect_sink(self, ni_sink) -> None:
@@ -221,7 +226,7 @@ class OutputPort:
                 flit=flit.index,
                 ni=self.router is None,
             )
-        if self.is_ejection:
+        if self.ni_sink is not None:
             self.network.schedule_eject(now + 1, self.ni_sink, flit)
             return
         if vc_index is None:
@@ -235,7 +240,7 @@ class OutputPort:
         self.network.schedule_arrival(
             now + self.link_hop_latency,
             self.downstream_router,
-            self.downstream_unit.direction,
+            self.downstream_dir,
             vc_index,
             flit,
         )

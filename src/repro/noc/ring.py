@@ -59,6 +59,7 @@ class RingRouter(MeshRouter):
                     direction
                 )
         self._unit_list = list(self.input_units.values())
+        self._rebuild_port_cache()
 
     # -- routing -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ in-flight packet — the property the Long Stall Detection unit exploits.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.noc.flit import Flit
@@ -44,6 +45,9 @@ PORT_ORDER = (
 #: Cycles from a flit's dequeue to the upstream credit increment
 #: (one cycle switch+link traversal, one cycle credit wire).
 CREDIT_DELAY = 2
+
+#: Sort key for round-robin candidate ordering.
+_RR_KEY = attrgetter("rr_key")
 
 
 class BaseRouter:
@@ -84,6 +88,26 @@ class BaseRouter:
             Direction.LOCAL
         )
         self._unit_list: List[InputUnit] = list(self.input_units.values())
+        #: Direct handles into the topology's route memo (the candidate
+        #: scan resolves a route per buffered head flit every cycle).
+        self._dir_cache = self.topology._xy_dir_cache
+        self._route_base = node * self.topology.num_nodes
+        self._rebuild_port_cache()
+
+    def _rebuild_port_cache(self) -> None:
+        """Refresh cached port and VC lists (call after adding ports)."""
+        #: Cardinal (router-to-router) output ports, in PORT_ORDER.
+        self.cardinal_ports: List[OutputPort] = [
+            self.output_ports[d] for d in CARDINALS if d in self.output_ports
+        ]
+        #: All output ports in fixed processing order.
+        self.port_list: List[OutputPort] = [
+            self.output_ports[d] for d in PORT_ORDER if d in self.output_ports
+        ]
+        #: Every input VC, flattened in fixed unit order (hot-scan list).
+        self._vc_list: List[VirtualChannel] = [
+            vc for unit in self._unit_list for vc in unit.vcs
+        ]
 
     def _make_output_port(self, direction: Direction) -> OutputPort:
         return OutputPort(
@@ -99,10 +123,18 @@ class BaseRouter:
     def receive_flit(self, direction: Direction, vc_index: int, flit: Flit) -> None:
         self.input_units[direction].receive(flit, vc_index)
         self.active_flits += 1
+        self.network.wake_router(self.node)
+
+    def has_work(self) -> bool:
+        """Whether this router must be stepped again next cycle."""
+        return self.active_flits > 0
 
     def route_of(self, packet: Packet) -> Direction:
         """Output direction the packet takes from this router."""
-        return xy_next_direction(self.topology, self.node, packet.dst)
+        direction = self._dir_cache.get(self._route_base + packet.dst)
+        if direction is None:
+            direction = xy_next_direction(self.topology, self.node, packet.dst)
+        return direction
 
     # -- per-cycle processing -----------------------------------------------
 
@@ -131,16 +163,23 @@ class BaseRouter:
         direction they request.  Built once per cycle and shared by all
         output ports (and by LSD in the PRA router)."""
         candidates: Dict[Direction, List[VirtualChannel]] = {}
-        for unit in self._unit_list:
-            for vc in unit.vcs:
-                flits = vc.flits
-                if not flits:
-                    continue
-                front = flits[0]
-                if not front.is_head:
-                    continue
+        dir_cache = self._dir_cache
+        route_base = self._route_base
+        for vc in self._vc_list:
+            flits = vc.flits
+            if not flits:
+                continue
+            front = flits[0]
+            if not front.is_head:
+                continue
+            direction = dir_cache.get(route_base + front.packet.dst)
+            if direction is None:
                 direction = self.route_of(front.packet)
-                candidates.setdefault(direction, []).append(vc)
+            group = candidates.get(direction)
+            if group is None:
+                candidates[direction] = [vc]
+            else:
+                group.append(vc)
         return candidates
 
     def _head_candidates(
@@ -164,15 +203,15 @@ class BaseRouter:
         index into the list: an index-modulo scheme can starve a VC
         indefinitely when membership oscillates.
         """
-        candidates.sort(key=lambda vc: (int(vc.unit.direction), vc.index))
+        candidates.sort(key=_RR_KEY)
         last = self._rr[direction]
         choice = candidates[0]
         if last is not None:
             for vc in candidates:
-                if (int(vc.unit.direction), vc.index) > last:
+                if vc.rr_key > last:
                     choice = vc
                     break
-        self._rr[direction] = (int(choice.unit.direction), choice.index)
+        self._rr[direction] = choice.rr_key
         return choice
 
     def __repr__(self) -> str:
@@ -190,17 +229,16 @@ class MeshRouter(BaseRouter):
             return
         used_inputs: Set[Direction] = set()
         candidates = self._collect_head_candidates()
-        for direction in PORT_ORDER:
-            port = self.output_ports.get(direction)
-            if port is None:
-                continue
+        for port in self.port_list:
             if faults.enabled and port.fault_stalled(now):
                 continue
-            if port.is_held:
+            if port.held_by is not None:
                 self._advance_held(port, now, used_inputs)
             else:
-                self._try_grant(port, direction, now, used_inputs,
-                                candidates.get(direction, ()))
+                direction = port.direction
+                group = candidates.get(direction)
+                if group:
+                    self._try_grant(port, direction, now, used_inputs, group)
 
     # -- switch traversal of an in-progress packet ---------------------------
 

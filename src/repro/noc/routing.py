@@ -8,7 +8,7 @@ provides.  Packets travel fully in X (east/west) first, then in Y.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.noc.topology import Direction, MeshTopology
 
@@ -16,36 +16,56 @@ from repro.noc.topology import Direction, MeshTopology
 def xy_next_direction(topo: MeshTopology, node: int, dst: int) -> Direction:
     """Output direction a packet at ``node`` takes toward ``dst``.
 
-    Returns ``Direction.LOCAL`` when the packet has arrived.
+    Returns ``Direction.LOCAL`` when the packet has arrived.  Results
+    are memoized on the topology (this is the single hottest routing
+    query — every head-candidate scan calls it).
     """
+    key = node * topo.num_nodes + dst
+    cache = topo._xy_dir_cache
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
     x, y = topo.coords(node)
     dx, dy = topo.coords(dst)
     if x < dx:
-        return Direction.EAST
-    if x > dx:
-        return Direction.WEST
-    if y < dy:
-        return Direction.SOUTH
-    if y > dy:
-        return Direction.NORTH
-    return Direction.LOCAL
+        direction = Direction.EAST
+    elif x > dx:
+        direction = Direction.WEST
+    elif y < dy:
+        direction = Direction.SOUTH
+    elif y > dy:
+        direction = Direction.NORTH
+    else:
+        direction = Direction.LOCAL
+    cache[key] = direction
+    return direction
 
 
-def xy_route(topo: MeshTopology, src: int, dst: int) -> List[Tuple[int, Direction]]:
-    """The full XY path as ``[(node, out_direction), ...]``.
+def xy_route(
+    topo: MeshTopology, src: int, dst: int
+) -> Tuple[Tuple[int, Direction], ...]:
+    """The full XY path as ``((node, out_direction), ...)``.
 
     The final element is ``(dst, Direction.LOCAL)`` (the ejection hop).
     This is the information a PRA control packet carries as its
-    look-ahead routing field.
+    look-ahead routing field.  Routes are memoized per (src, dst) pair
+    and returned as shared immutable tuples.
     """
-    path: List[Tuple[int, Direction]] = []
+    key = src * topo.num_nodes + dst
+    cache = topo._xy_route_cache
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    path = []
     node = src
     guard = topo.num_nodes + 1
     for _ in range(guard):
         direction = xy_next_direction(topo, node, dst)
         path.append((node, direction))
         if direction is Direction.LOCAL:
-            return path
+            route = tuple(path)
+            cache[key] = route
+            return route
         nxt = topo.neighbor(node, direction)
         if nxt is None:  # pragma: no cover - XY never walks off the mesh
             raise RuntimeError("XY route left the mesh")

@@ -23,16 +23,17 @@ class Direction(IntEnum):
     @property
     def opposite(self) -> "Direction":
         """The port on the neighboring router that faces this one."""
-        if self is Direction.LOCAL:
-            return Direction.LOCAL
-        flip = {
-            Direction.NORTH: Direction.SOUTH,
-            Direction.SOUTH: Direction.NORTH,
-            Direction.EAST: Direction.WEST,
-            Direction.WEST: Direction.EAST,
-        }
-        return flip[self]
+        return _OPPOSITE[self]
 
+
+#: Opposite-direction table indexed by port number (LOCAL maps to itself).
+_OPPOSITE = (
+    Direction.LOCAL,
+    Direction.SOUTH,
+    Direction.WEST,
+    Direction.NORTH,
+    Direction.EAST,
+)
 
 #: The four non-local directions in a fixed arbitration order.
 CARDINALS = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
@@ -55,6 +56,23 @@ class MeshTopology:
         self.width = width
         self.height = height
         self.num_nodes = width * height
+        #: Lookahead-route memos keyed by ``node * num_nodes + dst``,
+        #: filled lazily by :mod:`repro.noc.routing`.  XY routes are a
+        #: pure function of the geometry, so one computation per
+        #: (src, dst) pair serves the whole run.
+        self._xy_dir_cache: dict = {}
+        self._xy_route_cache: dict = {}
+        #: Precomputed neighbor table: ``_neighbor_table[node][direction]``
+        #: (None at mesh edges and for LOCAL).
+        self._neighbor_table: List[List[Optional[int]]] = []
+        for node in range(self.num_nodes):
+            x, y = node % width, node // width
+            row: List[Optional[int]] = [None] * 5
+            for direction, (dx, dy) in _DELTAS.items():
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < width and 0 <= ny < height:
+                    row[direction] = ny * width + nx
+            self._neighbor_table.append(row)
 
     def coords(self, node: int) -> Tuple[int, int]:
         """(x, y) coordinates of ``node``."""
@@ -68,14 +86,9 @@ class MeshTopology:
 
     def neighbor(self, node: int, direction: Direction) -> Optional[int]:
         """Adjacent node in ``direction``, or None at a mesh edge."""
-        if direction is Direction.LOCAL:
-            return None
-        x, y = self.coords(node)
-        dx, dy = _DELTAS[direction]
-        nx, ny = x + dx, y + dy
-        if 0 <= nx < self.width and 0 <= ny < self.height:
-            return self.node_at(nx, ny)
-        return None
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return self._neighbor_table[node][direction]
 
     def neighbors(self, node: int) -> Iterator[Tuple[Direction, int]]:
         """All (direction, neighbor) pairs that exist for ``node``."""

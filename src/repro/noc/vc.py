@@ -27,7 +27,7 @@ class VirtualChannel:
     """A FIFO flit buffer with single-packet occupancy."""
 
     __slots__ = ("index", "capacity", "flits", "allocated_to", "next_claim",
-                 "unit")
+                 "unit", "rr_key")
 
     def __init__(self, index: int, capacity: int):
         if capacity < 1:
@@ -44,6 +44,9 @@ class VirtualChannel:
         self.next_claim: Optional[Packet] = None
         #: Owning InputUnit (backref set by the unit).
         self.unit: Optional["InputUnit"] = None
+        #: Arbitration key ``(input direction, vc index)`` (set by the
+        #: unit); precomputed because round-robin picks sort on it.
+        self.rr_key: tuple = ()
 
     @property
     def is_empty(self) -> bool:
@@ -97,6 +100,7 @@ class InputUnit:
         ]
         for vc in self.vcs:
             vc.unit = self
+            vc.rr_key = (int(direction), vc.index)
         #: Upstream OutputPort feeding this unit (set by Network wiring);
         #: credits return to it when flits are dequeued here.
         self.feeder_port = None

@@ -159,10 +159,12 @@ def test_stale_live_reservation_is_detected():
     plan = PraPlan(packet, start_slot=2)
     step = PlanStep(driver_node=0, out_dir=Direction.EAST, slot=2, hops=1,
                     source_kind=SRC_VC)
-    port = net.routers[0].output_ports[Direction.EAST]
-    port.reservations._slots[2] = ReservationEntry(
-        plan=plan, step=step, flit_index=0, is_driver=True
-    )
+    table = net.routers[0].output_ports[Direction.EAST].reservations
+    entry = ReservationEntry(plan=plan, step=step, flit_index=0, is_driver=True)
+    # Plant the stale entry directly in the ring, bypassing reserve()'s
+    # validation (the corruption this audit exists to catch).
+    table._ring[2 % table._size] = (2, entry)
+    table._count += 1
     suite = InvariantSuite()
     with pytest.raises(InvariantViolation) as exc:
         suite.audit(net, net.cycle)
