@@ -26,6 +26,7 @@ from repro.harness.runner import (
     clear_grid_cache,
     evaluation_grid,
     get_scale,
+    grid_stats,
 )
 from repro.params import NocKind
 from repro.perf.system import SystemSimulator
@@ -133,8 +134,16 @@ def profile_micro(scale: EvaluationScale, top: int = 20) -> str:
 
 
 def run_macro(scale: EvaluationScale) -> Dict[str, object]:
-    """Wall time of the full {workload} x {organization} grid."""
+    """Wall time of the full {workload} x {organization} grid.
+
+    The grid honors ``REPRO_CELL_STORE`` (an attached store lets an
+    interrupted macro run resume), so the report records how many cells
+    came from the store: a wall time with nonzero ``store_hits`` is a
+    resumed sweep, not a measurement of simulation throughput.
+    """
     clear_grid_cache()  # measure real work, not the process-level cache
+    hits0 = grid_stats.grid_cache_hits
+    misses0 = grid_stats.grid_cache_misses
     start = time.perf_counter()
     grid = evaluation_grid(scale=scale)
     wall = time.perf_counter() - start
@@ -143,6 +152,8 @@ def run_macro(scale: EvaluationScale) -> Dict[str, object]:
         "cells": len(grid),
         "wall_s": round(wall, 3),
         "jobs": os.environ.get("REPRO_JOBS", "1"),
+        "store_hits": grid_stats.grid_cache_hits - hits0,
+        "store_misses": grid_stats.grid_cache_misses - misses0,
     }
 
 
@@ -198,9 +209,13 @@ def render_report(report: Dict[str, object]) -> str:
     macro = report.get("macro")
     if macro:
         lines.append("")
+        resumed = (
+            f", {macro['store_hits']} cells from the store"
+            if macro.get("store_hits") else ""
+        )
         lines.append(
             f"evaluation grid: {macro['cells']} cells in "
-            f"{macro['wall_s']:.2f} s (REPRO_JOBS={macro['jobs']})"
+            f"{macro['wall_s']:.2f} s (REPRO_JOBS={macro['jobs']}{resumed})"
         )
     lines.append(f"total: {report['total_wall_s']:.2f} s")
     return "\n".join(lines)

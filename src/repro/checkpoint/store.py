@@ -1,0 +1,83 @@
+"""Content-addressed on-disk store for finished evaluation-grid cells.
+
+Each cell (one ``(scale, workload, noc kind, seed)`` sample) is keyed by
+the sha256 of its canonical-JSON key payload — which includes the
+parameter hash and the code version, so stale results never resurface
+after a behavior change.  Writes are atomic (tmp file + ``os.replace``),
+so concurrent sweep processes can share one store directory; a corrupt
+or truncated cell reads as a miss and is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+#: Environment variable naming the default store directory.  Unset (the
+#: default) means no persistence — tests and one-off runs stay clean.
+STORE_ENV = "REPRO_CELL_STORE"
+
+
+def cell_key(payload: Any) -> str:
+    """Content-addressed key: sha256 of the canonical JSON form."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+class CellStore:
+    """Filesystem-backed map from cell key to JSON payload."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None on a miss (including a corrupt
+        or half-written file)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+
+def default_store() -> Optional[CellStore]:
+    """The store named by ``REPRO_CELL_STORE``, or None when unset."""
+    root = os.environ.get(STORE_ENV)
+    if not root:
+        return None
+    return CellStore(root)

@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``figures [--scale S] [--only fig6,...] [--json PATH]`` — reproduce
-  the paper's tables/figures and print them;
-* ``simulate WORKLOAD [--noc KIND] [--warmup N] [--measure N] [--seed N]
-  [--trace PATH]`` — one full-system run with diagnostics (and
-  optionally a JSONL event trace);
+* ``figures [--scale S] [--only fig6,...] [--json PATH]
+  [--cell-store DIR]`` — reproduce the paper's tables/figures and print
+  them (with a cell store attached, interrupted grids resume);
+* ``simulate [WORKLOAD] [--noc KIND] [--warmup N] [--measure N]
+  [--seed N] [--trace PATH] [--checkpoint-every N] [--checkpoint TPL]
+  [--restore FILE] [--digest]`` — one full-system run with diagnostics
+  (and optionally a JSONL event trace); periodic snapshots make the
+  run resumable, and ``--restore`` continues one bit-for-bit;
 * ``trace --workload W [--noc KIND] [--cycles N] [--packet PID]
   [--out PATH]`` — run with cycle-level event tracing and reconstruct a
   per-packet timeline (a planned response by default);
@@ -28,10 +31,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
-from repro.params import ChipParams, NocKind
+from repro.params import NocKind
 from repro.harness import (
     figure2,
     figure6,
@@ -89,7 +93,18 @@ def _parse_mesh(text: str):
     return width, height
 
 
+def _apply_cell_store(args: argparse.Namespace) -> None:
+    """``--cell-store PATH`` persists finished evaluation-grid cells
+    there (equivalent to setting ``REPRO_CELL_STORE``), so an
+    interrupted grid resumes instead of recomputing."""
+    if getattr(args, "cell_store", None):
+        from repro.checkpoint import STORE_ENV
+
+        os.environ[STORE_ENV] = args.cell_store
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    _apply_cell_store(args)
     scale = get_scale(args.scale)
     names = args.only.split(",") if args.only else list(_FIGURES)
     collected = {}
@@ -125,20 +140,70 @@ def _resolve_workload_arg(name: str) -> Optional[str]:
         return None
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.perf.system import simulate
+def _drive(sim, warmup: int, measure: int, every: Optional[int],
+           path_tpl: str):
+    """Run ``sim`` to the absolute cycle ``warmup + measure``, writing a
+    snapshot at every multiple of ``every`` strictly before the end.
 
-    workload = _resolve_workload_arg(args.workload)
-    if workload is None:
-        return 2
-    kind = _NOC_KINDS[args.noc]
+    Cycles are absolute, so a simulator restored from one of those
+    snapshots resumes mid-schedule: already-simulated cycles are not
+    repeated, and the measurement interval opened before the snapshot
+    (or at ``warmup``, whichever comes first on this process's watch)
+    closes exactly where a straight run would close it.
+    """
+    from repro.checkpoint import snapshot_system, write_snapshot
+
+    sim.start()
+    end = warmup + measure
+
+    def run_to(target: int) -> None:
+        while sim.chip.cycle < target:
+            step = target - sim.chip.cycle
+            if every:
+                next_ck = (sim.chip.cycle // every + 1) * every
+                if next_ck < min(end, target + 1):
+                    step = next_ck - sim.chip.cycle
+            sim.chip.run(step)
+            at = sim.chip.cycle
+            if every and at % every == 0 and at < end:
+                path = path_tpl.format(cycle=at)
+                write_snapshot(snapshot_system(sim), path)
+                print(f"checkpoint: cycle {at} -> {path}")
+
+    run_to(warmup)
+    if sim._interval_start is None:
+        sim.begin_interval()
+    run_to(end)
+    return sim.end_interval()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perf.system import SystemSimulator
+
+    if args.restore:
+        from repro.checkpoint import read_snapshot, restore_system
+
+        sim = restore_system(read_snapshot(args.restore))
+        workload = sim.profile.name
+        kind = sim.noc_kind
+    else:
+        if args.workload is None:
+            print("error: a WORKLOAD argument is required unless "
+                  "--restore is given", file=sys.stderr)
+            return 2
+        workload = _resolve_workload_arg(args.workload)
+        if workload is None:
+            return 2
+        kind = _NOC_KINDS[args.noc]
+        sim = SystemSimulator(workload, kind, seed=args.seed)
     tracer = None
     if args.trace:
         from repro.trace import RingTracer
 
         tracer = RingTracer()
-    sample = simulate(workload, kind, warmup=args.warmup,
-                      measure=args.measure, seed=args.seed, tracer=tracer)
+        sim.chip.network.attach(tracer=tracer)
+    sample = _drive(sim, args.warmup, args.measure,
+                    args.checkpoint_every, args.checkpoint)
     if tracer is not None:
         written = tracer.write_jsonl(args.trace)
         print(f"trace:                {written} events -> {args.trace}"
@@ -155,6 +220,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               + ", ".join(f"lag{k}={v:.0%}"
                           for k, v in sorted(sample.lag_distribution.items())))
         print(f"blocked fraction:     {sample.pra_blocked_fraction:.3%}")
+    if args.digest:
+        from repro.checkpoint import run_digest
+
+        digest = run_digest(sample, sim.chip.network.stats.summary())
+        print(f"digest:               {digest}")
     return 0
 
 
@@ -177,7 +247,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cycle_window=window,
     )
     sim = SystemSimulator(workload, kind, seed=args.seed)
-    sim.chip.network.attach_tracer(tracer)
+    sim.chip.network.attach(tracer=tracer)
     sim.run_sample(warmup=args.warmup, measure=args.cycles)
     written = tracer.write_jsonl(args.out)
     print(f"traced {workload} on {kind.value}: cycles "
@@ -269,9 +339,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         args.fault_seed, num_nodes, args.cycles, intensity=args.intensity
     )
     injector = FaultInjector(schedule)
-    net.attach_faults(injector)
     suite = InvariantSuite(raise_on_violation=False)
-    net.attach_invariants(suite)
+    net.attach(faults=injector, invariants=suite)
     traffic = SyntheticTraffic(
         net, TrafficPattern(args.pattern), args.rate, seed=args.seed
     )
@@ -318,6 +387,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    _apply_cell_store(args)
     from repro.bench import (
         compare_reports,
         profile_micro,
@@ -378,16 +448,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also dump JSON here")
     p.add_argument("--bars", action="store_true",
                    help="render ASCII bar charts instead of tables")
+    p.add_argument("--cell-store", default=None, metavar="PATH",
+                   help="persist finished evaluation-grid cells under "
+                        "PATH (sets REPRO_CELL_STORE) so interrupted "
+                        "sweeps resume")
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("simulate", help="one full-system run")
-    p.add_argument("workload")
+    p.add_argument("workload", nargs="?", default=None,
+                   help="workload name or alias (omit with --restore)")
     p.add_argument("--noc", default="mesh+pra", choices=sorted(_NOC_KINDS))
     p.add_argument("--warmup", type=int, default=1000)
     p.add_argument("--measure", type=int, default=5000)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="also write a JSONL event trace of the run")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="write a snapshot at every multiple of N cycles "
+                        "(strictly before the run's end)")
+    p.add_argument("--checkpoint", default="checkpoint-{cycle}.json",
+                   metavar="TPL",
+                   help="checkpoint path template; '{cycle}' expands to "
+                        "the snapshot cycle, the extension picks the "
+                        "format: .json, .json.gz, or .npz "
+                        "(default: %(default)s)")
+    p.add_argument("--restore", default=None, metavar="FILE",
+                   help="resume from a snapshot instead of starting at "
+                        "cycle 0 (pass the same --warmup/--measure as "
+                        "the original run to finish its schedule)")
+    p.add_argument("--digest", action="store_true",
+                   help="print the run's golden-determinism sha256 "
+                        "digest (restored runs must match straight runs)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -467,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRAC",
                    help="with --compare: exit non-zero if any organization "
                         "regressed by more than FRAC (e.g. 0.30)")
+    p.add_argument("--cell-store", default=None, metavar="PATH",
+                   help="persist finished evaluation-grid cells under "
+                        "PATH (sets REPRO_CELL_STORE); the macro report "
+                        "records how many cells came from the store")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("area", help="Figure 8 area model")

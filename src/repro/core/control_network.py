@@ -34,7 +34,6 @@ from repro.core.plan import (
     PlanStep,
     PraPlan,
     SRC_LATCH,
-    SRC_VC,
 )
 from repro.core.reservation import ReservationEntry
 from repro.noc.packet import Packet
@@ -107,6 +106,49 @@ class ControlRun:
         self.source_vc = source_vc
         #: Direction the data packet enters the current driver from.
         self.entry_dir: Optional[Direction] = None
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "packet": ctx.packet_ref(self.packet),
+            "plan": ctx.plan_ref(self.plan),
+            "route": [[node, int(direction)] for node, direction in self.route],
+            "pos": self.pos,
+            "next_slot": self.next_slot,
+            "lag": self.lag,
+            "trigger": self.trigger,
+            "source_kind": self.source_kind,
+            "source_dir": int(self.source_dir),
+            "source_vc": self.source_vc,
+            "entry_dir": (int(self.entry_dir)
+                          if self.entry_dir is not None else None),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, ctx) -> "ControlRun":
+        # ``__init__`` would build a fresh PraPlan; the restored run must
+        # share the registry's plan object with its packet and the
+        # reservation tables instead.
+        run = cls.__new__(cls)
+        run.packet = ctx.packet(state["packet"])
+        run.plan = ctx.plan(state["plan"])
+        run.route = [
+            (node, Direction(direction))
+            for node, direction in state["route"]
+        ]
+        run.pos = state["pos"]
+        run.next_slot = state["next_slot"]
+        run.lag = state["lag"]
+        run.trigger = state["trigger"]
+        run.source_kind = state["source_kind"]
+        run.source_dir = Direction(state["source_dir"])
+        run.source_vc = state["source_vc"]
+        run.entry_dir = (
+            Direction(state["entry_dir"])
+            if state["entry_dir"] is not None else None
+        )
+        return run
 
 
 class ControlNetwork:
@@ -347,7 +389,6 @@ class ControlNetwork:
         # 4. Landing buffer: full-packet space in the standard VC.
         landing_port = via_port if hops == 2 else driver_port
         landing_node = run.route[run.pos + hops][0]
-        landing_router = routers[landing_node]
         vc_index = run.packet.vc_index
         landing_vc = landing_port.downstream_vc(vc_index)
         if not landing_vc.can_accept_packet(run.packet):
@@ -629,3 +670,28 @@ class ControlNetwork:
         while self._purge_floor < now:
             self._media.pop(self._purge_floor, None)
             self._purge_floor += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Media claims are membership-only (never iterated), so each
+        bucket is serialized in a canonical sorted order."""
+        media = []
+        for cycle, bucket in sorted(self._media.items()):
+            claims = sorted(
+                ([node, int(key) if isinstance(key, Direction) else key]
+                 for node, key in bucket),
+                key=lambda claim: (claim[0], str(claim[1])),
+            )
+            media.append([cycle, claims])
+        return {"media": media, "purge_floor": self._purge_floor}
+
+    def load_state(self, state: dict, ctx) -> None:
+        self._media = {
+            cycle: {
+                (node, key if key == "inject" else Direction(key))
+                for node, key in claims
+            }
+            for cycle, claims in state["media"]
+        }
+        self._purge_floor = state["purge_floor"]

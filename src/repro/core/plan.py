@@ -21,7 +21,7 @@ Terminology mapping to the paper (Figures 3-5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.noc.packet import Packet
@@ -65,6 +65,37 @@ class PlanStep:
     landing_kind: str = LAND_VC
     #: Entry direction at the landing router (for latch/VC addressing).
     landing_entry: Direction = Direction.LOCAL
+
+    def state_dict(self) -> dict:
+        return {
+            "driver_node": self.driver_node,
+            "out_dir": int(self.out_dir),
+            "slot": self.slot,
+            "hops": self.hops,
+            "source_kind": self.source_kind,
+            "source_dir": int(self.source_dir),
+            "source_vc": self.source_vc,
+            "via_node": self.via_node,
+            "landing_node": self.landing_node,
+            "landing_kind": self.landing_kind,
+            "landing_entry": int(self.landing_entry),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PlanStep":
+        return cls(
+            driver_node=state["driver_node"],
+            out_dir=Direction(state["out_dir"]),
+            slot=state["slot"],
+            hops=state["hops"],
+            source_kind=state["source_kind"],
+            source_dir=Direction(state["source_dir"]),
+            source_vc=state["source_vc"],
+            via_node=state["via_node"],
+            landing_node=state["landing_node"],
+            landing_kind=state["landing_kind"],
+            landing_entry=Direction(state["landing_entry"]),
+        )
 
 
 class PraPlan:
@@ -170,6 +201,53 @@ class PraPlan:
                     vc.allocated_to = vc.next_claim
                     vc.next_claim = None
             self.source_interface.release_pin(self.packet)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Scalar plan state plus the VC claim by port locator.
+
+        The ``latch_claims`` / ``table_entries`` / ``input_claims``
+        back-reference lists are *not* serialized: the routers rebuild
+        them on restore by re-registering their claims through the same
+        ``claim_latch`` / ``claim_input`` / ``reserve`` calls that built
+        them originally.
+        """
+        vc_claim = None
+        if self.vc_claim is not None:
+            port, vc_index, remaining = self.vc_claim
+            vc_claim = [ctx.port_ref(port), vc_index, remaining]
+        return {
+            "packet": ctx.packet_ref(self.packet),
+            "start_slot": self.start_slot,
+            "steps": [step.state_dict() for step in self.steps],
+            "cancelled": self.cancelled,
+            "finished": self.finished,
+            "completed_steps": self.completed_steps,
+            "vc_claim": vc_claim,
+            "injection_claim": self.injection_claim,
+            "source_interface": (
+                self.source_interface.node
+                if self.source_interface is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, ctx) -> "PraPlan":
+        plan = cls(ctx.packet(state["packet"]), state["start_slot"])
+        plan.steps = [PlanStep.from_state(s) for s in state["steps"]]
+        plan.cancelled = state["cancelled"]
+        plan.finished = state["finished"]
+        plan.completed_steps = state["completed_steps"]
+        if state["vc_claim"] is not None:
+            port_ref, vc_index, remaining = state["vc_claim"]
+            plan.vc_claim = (ctx.port(port_ref), vc_index, remaining)
+        plan.injection_claim = state["injection_claim"]
+        if state["source_interface"] is not None:
+            plan.source_interface = ctx.network.interfaces[
+                state["source_interface"]
+            ]
+        return plan
 
     def __repr__(self) -> str:
         return (

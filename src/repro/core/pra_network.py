@@ -13,7 +13,7 @@ Two event windows trigger proactive allocation (paper Section III):
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.control_network import ControlNetwork
 from repro.core.plan import PraPlan, SRC_VC
@@ -127,6 +127,26 @@ class PraInterface(NetworkInterface):
             port.release()
             self._pins.pop(packet.pid, None)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        # ``_arbitrate`` iterates pins in insertion order, so the dict
+        # order is part of the arbitration priority — keep it as-is.
+        state["pins"] = [
+            [pid, grant_time, ctx.plan_ref(plan)]
+            for pid, (packet, grant_time, plan) in self._pins.items()
+            if not plan.cancelled
+        ]
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        self._pins = {}
+        for pid, grant_time, plan_ref in state["pins"]:
+            plan = ctx.plan(plan_ref)
+            self._pins[pid] = (ctx.packet(["pkt", pid]), grant_time, plan)
+
 
 class PraNetwork(MeshNetwork):
     """Mesh+PRA: PRA routers, PRA interfaces, and the control network."""
@@ -176,3 +196,14 @@ class PraNetwork(MeshNetwork):
 
     def _post_router_step(self, now: int) -> None:
         self.control.purge(now)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        state["control"] = self.control.state_dict(ctx)
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        self.control.load_state(state["control"], ctx)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Set, Tuple
 
-from repro.core.plan import LAND_LATCH, LAND_NI, LAND_VC, PraPlan, SRC_LATCH, SRC_VC
+from repro.core.plan import LAND_LATCH, LAND_NI, LAND_VC, PraPlan, SRC_VC
 from repro.core.reservation import ReservationEntry, ReservationTable
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
@@ -45,6 +45,15 @@ class PraOutputPort(OutputPort):
     def __init__(self, *args, horizon: int, **kwargs):
         super().__init__(*args, **kwargs)
         self.reservations = ReservationTable(horizon)
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        state["reservations"] = self.reservations.state_dict(ctx)
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        self.reservations.load_state(state["reservations"], ctx)
 
 
 class PraRouter(MeshRouter):
@@ -252,7 +261,7 @@ class PraRouter(MeshRouter):
     def _pop_source(self, step, now: int) -> None:
         if step.source_kind == SRC_VC:
             vc = self.input_units[step.source_dir].vcs[step.source_vc]
-            flit = vc.pop()
+            vc.pop()
             self.active_flits -= 1
             feeder = vc.unit.feeder_port
             if feeder is not None:
@@ -373,6 +382,45 @@ class PraRouter(MeshRouter):
         if vc.occupancy < packet.size:
             return None
         return self.network.cycle + remaining + 1
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        state["latches"] = [
+            [int(direction), [ctx.flit_ref(flit) for flit in latch]]
+            for direction, latch in self._latches.items()
+        ]
+        state["latch_claims"] = [
+            [int(direction), slot, ctx.plan_ref(plan)]
+            for (direction, slot), plan in self._latch_claims.items()
+            if not plan.cancelled
+        ]
+        state["input_claims"] = [
+            [int(direction), slot, ctx.plan_ref(plan)]
+            for (direction, slot), plan in self._input_claims.items()
+            if not plan.cancelled
+        ]
+        state["last_purge"] = self._last_purge
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        for direction_value, refs in state["latches"]:
+            self._latches[Direction(direction_value)] = deque(
+                ctx.flit(ref) for ref in refs
+            )
+        # ``claim_latch`` / ``claim_input`` rebuild each plan's release
+        # back-reference lists as a side effect, mirroring reserve().
+        self._latch_claims = {}
+        for direction_value, slot, plan_ref in state["latch_claims"]:
+            self.claim_latch(Direction(direction_value), slot,
+                             ctx.plan(plan_ref))
+        self._input_claims = {}
+        for direction_value, slot, plan_ref in state["input_claims"]:
+            self.claim_input(Direction(direction_value), slot,
+                             ctx.plan(plan_ref))
+        self._last_purge = state["last_purge"]
 
     # -- housekeeping -------------------------------------------------------------
 

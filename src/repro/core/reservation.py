@@ -175,3 +175,37 @@ class ReservationTable:
             if cell is not None and cell[0] < now:
                 ring[idx] = None
                 self._count -= 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Occupied cells in slot order; cancelled plans' entries are
+        dropped (the queries already treat them as absent)."""
+        cells = []
+        for cell in self._ring:
+            if cell is None:
+                continue
+            slot, entry = cell
+            if entry.plan.cancelled:
+                continue
+            # Identity index: PlanStep is a value-comparing dataclass,
+            # so ``steps.index(entry.step)`` could match a twin step.
+            step_index = next(
+                i for i, step in enumerate(entry.plan.steps)
+                if step is entry.step
+            )
+            cells.append([slot, ctx.plan_ref(entry.plan), step_index,
+                          entry.flit_index, entry.is_driver])
+        cells.sort(key=lambda cell: cell[0])
+        return {"cells": cells}
+
+    def load_state(self, state: dict, ctx) -> None:
+        self._ring = [None] * self._size
+        self._count = 0
+        for slot, plan_ref, step_index, flit_index, is_driver in state["cells"]:
+            plan = ctx.plan(plan_ref)
+            # ``reserve`` re-appends ``(table, slot)`` to the plan's
+            # refund list, rebuilding it as a side effect.
+            self.reserve(slot, ReservationEntry(
+                plan, plan.steps[step_index], flit_index, is_driver
+            ))

@@ -1,7 +1,7 @@
 """Fault injectors: the runtime half of the chaos harness.
 
 Injection sites query a :class:`FaultInjector` attached to the network
-(``network.attach_faults``).  Sites are *named*: each query method is
+(``network.attach(faults=...)``).  Sites are *named*: each query method is
 one place in the simulator where hardware can misbehave, and each is
 designed so the misbehaviour degrades gracefully —
 

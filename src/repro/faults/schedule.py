@@ -12,7 +12,7 @@ happen to be queried.
 from __future__ import annotations
 
 import random as _random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -16,7 +16,6 @@ from repro.harness.runner import (
     ALL_KINDS,
     EvaluationScale,
     evaluation_grid,
-    get_scale,
 )
 from repro.physical.area import noc_area
 from repro.physical.density import chip_area_mm2

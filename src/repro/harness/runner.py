@@ -1,10 +1,21 @@
-"""Shared evaluation machinery: scales and the cached simulation grid.
+"""Shared evaluation machinery: scales and the resumable simulation grid.
 
 Every performance figure (2, 6, 7, 9, the Section V-B statistics, and
 the power analysis) derives from one grid of full-system simulations:
-{workload} x {NoC organization}.  The grid is computed once per scale
-and cached for the lifetime of the process, so running all benchmarks
-costs one sweep.
+{workload} x {NoC organization} x {seed}.  Finished cells are cached at
+two levels:
+
+* **in process** — the grid is computed once per (scale, workloads,
+  kinds, seeds, parameter hash) and reused for the process lifetime;
+* **on disk** — with a :class:`~repro.checkpoint.store.CellStore`
+  attached (the ``REPRO_CELL_STORE`` env var or an explicit ``store=``
+  argument), every finished cell is persisted under a content-addressed
+  key, so an interrupted sweep resumes from the cells already done —
+  across processes and machines sharing the directory.
+
+Cache behavior is observable: hits and misses are counted on the
+module-wide ``grid_stats`` object and appear in
+``grid_stats.summary()``.
 """
 
 from __future__ import annotations
@@ -12,14 +23,25 @@ from __future__ import annotations
 import os
 import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.params import NocKind
+from repro.checkpoint.codec import CODE_VERSION
+from repro.checkpoint.snapshot import params_state
+from repro.checkpoint.store import cell_key, default_store
+from repro.noc.stats import NetworkStats
+from repro.params import NocKind, default_chip
 from repro.perf.system import PerfSample, simulate
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 #: All four organizations, in the paper's presentation order.
 ALL_KINDS = (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA, NocKind.IDEAL)
+
+#: Module-wide cache counters (``grid_cache_hits``/``grid_cache_misses``
+#: show up in ``grid_stats.summary()`` once the grid has run).
+grid_stats = NetworkStats()
+
+#: Sentinel distinguishing "use the default store" from "no store".
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -52,7 +74,37 @@ def get_scale(name: Optional[str] = None) -> EvaluationScale:
 
 
 GridKey = Tuple[str, NocKind]
-_grid_cache: Dict[Tuple[str, str, Tuple[NocKind, ...]], Dict[GridKey, PerfSample]] = {}
+#: One simulation cell: (workload, kind, warmup, measure, seed).
+Cell = Tuple[str, NocKind, int, int, int]
+_grid_cache: Dict[tuple, Dict[GridKey, PerfSample]] = {}
+
+_params_hash_cache: Optional[str] = None
+
+
+def _params_hash() -> str:
+    """Digest of the default chip parameters the grid simulates with
+    (part of every cell key, so a parameter change invalidates persisted
+    cells instead of silently reusing them)."""
+    global _params_hash_cache
+    if _params_hash_cache is None:
+        payload = {
+            kind.value: params_state(default_chip(kind)) for kind in ALL_KINDS
+        }
+        _params_hash_cache = cell_key(payload)[:16]
+    return _params_hash_cache
+
+
+def _cell_payload(cell: Cell) -> dict:
+    workload, kind, warmup, measure, seed = cell
+    return {
+        "workload": workload,
+        "kind": kind.value,
+        "warmup": warmup,
+        "measure": measure,
+        "seed": seed,
+        "params": _params_hash(),
+        "code_version": CODE_VERSION,
+    }
 
 
 def _wall_limit() -> Optional[float]:
@@ -67,7 +119,7 @@ def _wall_limit() -> Optional[float]:
     return limit if limit > 0 else None
 
 
-def _simulate_cell(cell: Tuple[str, NocKind, int, int, int]) -> PerfSample:
+def _simulate_cell(cell: Cell) -> PerfSample:
     """Worker entry point (top-level so it pickles for multiprocessing)."""
     workload, kind, warmup, measure, seed = cell
     sample = simulate(workload, kind, warmup=warmup, measure=measure,
@@ -97,55 +149,94 @@ def _num_jobs() -> int:
     return max(1, jobs)
 
 
-def _simulate_indexed(item: Tuple[int, Tuple[str, NocKind, int, int, int]]):
+def _simulate_indexed(item: Tuple[int, Cell]):
     """Pool entry point carrying the cell index (results arrive in
     completion order under ``imap_unordered``)."""
     index, cell = item
     return index, _simulate_cell(cell)
 
 
-def evaluation_grid(
-    workloads: Iterable[str] = WORKLOAD_NAMES,
-    kinds: Iterable[NocKind] = ALL_KINDS,
-    scale: Optional[EvaluationScale] = None,
-) -> Dict[GridKey, PerfSample]:
-    """Run (or fetch) the {workload} x {organization} simulation grid.
-
-    Cells are independent, so with ``REPRO_JOBS > 1`` they run in a
-    multiprocessing pool.  Multi-seed scales merge per-seed samples by
-    summing instructions and cycles into one sample per cell.
-    """
-    scale = scale or get_scale()
-    workloads = tuple(workloads)
-    kinds = tuple(kinds)
-    cache_key = (scale.name, workloads, kinds)
-    if cache_key in _grid_cache:
-        return _grid_cache[cache_key]
-    cells = [
-        (workload, kind, scale.warmup, scale.measure, seed + 1)
-        for workload in workloads
-        for kind in kinds
-        for seed in range(scale.num_seeds)
-    ]
+def _run_cells(cells: List[Cell], pending: List[int],
+               results: List[Optional[PerfSample]]) -> None:
+    """Simulate ``cells[i]`` for every i in ``pending``, in place."""
     jobs = _num_jobs()
-    if jobs > 1 and len(cells) > 1:
+    if jobs > 1 and len(pending) > 1:
         import multiprocessing
 
         # Unordered completion keeps every worker busy regardless of
         # how unevenly cell runtimes are distributed (ideal cells run
         # ~5x faster than mesh+pra cells); small chunks bound the
         # tail-latency cost of a slow chunk landing on one worker.
-        workers = min(jobs, len(cells))
-        chunksize = max(1, len(cells) // (workers * 4))
-        results: list = [None] * len(cells)
+        workers = min(jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
         with multiprocessing.Pool(workers) as pool:
             for index, sample in pool.imap_unordered(
-                _simulate_indexed, list(enumerate(cells)),
+                _simulate_indexed, [(i, cells[i]) for i in pending],
                 chunksize=chunksize,
             ):
                 results[index] = sample
     else:
-        results = [_simulate_cell(cell) for cell in cells]
+        for index in pending:
+            results[index] = _simulate_cell(cells[index])
+
+
+def evaluation_grid(
+    workloads: Iterable[str] = WORKLOAD_NAMES,
+    kinds: Iterable[NocKind] = ALL_KINDS,
+    scale: Optional[EvaluationScale] = None,
+    store=_UNSET,
+) -> Dict[GridKey, PerfSample]:
+    """Run (or fetch) the {workload} x {organization} simulation grid.
+
+    ``store`` is a :class:`~repro.checkpoint.store.CellStore` persisting
+    finished cells; by default it comes from the ``REPRO_CELL_STORE``
+    env variable (unset means no persistence), and ``store=None``
+    disables persistence explicitly.  Store reads and writes happen in
+    the parent process, so with ``REPRO_JOBS > 1`` only the cells
+    actually missing are dispatched to the worker pool.  Multi-seed
+    scales merge per-seed samples by summing instructions and cycles
+    into one sample per cell.
+    """
+    scale = scale or get_scale()
+    workloads = tuple(workloads)
+    kinds = tuple(kinds)
+    seeds = tuple(seed + 1 for seed in range(scale.num_seeds))
+    cache_key = (scale.name, workloads, kinds, seeds, _params_hash())
+    if cache_key in _grid_cache:
+        grid_stats.grid_cache_hits += 1
+        return _grid_cache[cache_key]
+    if store is _UNSET:
+        store = default_store()
+    cells: List[Cell] = [
+        (workload, kind, scale.warmup, scale.measure, seed)
+        for workload in workloads
+        for kind in kinds
+        for seed in seeds
+    ]
+    results: List[Optional[PerfSample]] = [None] * len(cells)
+    keys: List[Optional[str]] = [None] * len(cells)
+    if store is not None:
+        pending: List[int] = []
+        for index, cell in enumerate(cells):
+            key = cell_key(_cell_payload(cell))
+            keys[index] = key
+            cached = store.get(key)
+            if cached is not None:
+                results[index] = PerfSample.from_state(cached["sample"])
+                grid_stats.grid_cache_hits += 1
+            else:
+                pending.append(index)
+                grid_stats.grid_cache_misses += 1
+    else:
+        pending = list(range(len(cells)))
+    _run_cells(cells, pending, results)
+    if store is not None:
+        for index in pending:
+            sample = results[index]
+            # Timed-out cells are partial measurements; persisting them
+            # would freeze the truncation into every future sweep.
+            if sample is not None and not sample.timed_out:
+                store.put(keys[index], {"sample": sample.to_state()})
     by_key: Dict[GridKey, list] = {}
     for (workload, kind, *_), sample in zip(cells, results):
         by_key.setdefault((workload, kind), []).append(sample)
@@ -207,5 +298,9 @@ def _merge(samples) -> PerfSample:
 
 
 def clear_grid_cache() -> None:
-    """Forget cached grids (tests use this for isolation)."""
+    """Forget in-process cached grids (tests use this for isolation).
+
+    The ``grid_stats`` counters survive, so callers can observe hit and
+    miss totals across a clear (e.g. a resumed sweep's second pass).
+    """
     _grid_cache.clear()

@@ -191,7 +191,7 @@ class InvariantSuite:
         self._watchdog_fired = False
 
     def attach(self, network) -> None:
-        network.attach_invariants(self)
+        network.attach(invariants=self)
 
     @property
     def watchdog_fired(self) -> bool:

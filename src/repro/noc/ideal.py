@@ -141,3 +141,42 @@ class IdealNetwork(Network):
         self.schedule_call(head_time, self._head_arrived, packet, head_time)
         eject_time = head_arrival + (packet.size - 1) + 1
         self.schedule_call(eject_time, self._deliver, packet, eject_time)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        state["link_free_at"] = [
+            [node, int(direction), until]
+            for (node, direction), until in sorted(self._link_free_at.items())
+        ]
+        state["waiting"] = [
+            [ctx.packet_ref(packet) for packet in queue]
+            for queue in self._waiting
+        ]
+        state["busy_nodes"] = sorted(self._busy_nodes)
+        # Arrival buckets keep their append order: packets arriving at a
+        # node on the same cycle enter its FIFO in that order.
+        state["arrivals"] = [
+            [time, [[node, ctx.packet_ref(packet)] for node, packet in bucket]]
+            for time, bucket in sorted(self._arrivals.items())
+        ]
+        state["link_flits"] = self._link_flits
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        self._link_free_at = {
+            (node, Direction(direction)): until
+            for node, direction, until in state["link_free_at"]
+        }
+        self._waiting = [
+            deque(ctx.packet(ref) for ref in refs)
+            for refs in state["waiting"]
+        ]
+        self._busy_nodes = set(state["busy_nodes"])
+        self._arrivals = {
+            time: [(node, ctx.packet(ref)) for node, ref in bucket]
+            for time, bucket in state["arrivals"]
+        }
+        self._link_flits = state["link_flits"]

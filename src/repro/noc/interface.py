@@ -13,7 +13,7 @@ injection pinning.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+from typing import Deque, List, TYPE_CHECKING
 
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
@@ -131,6 +131,28 @@ class NetworkInterface:
     def _may_inject(self, packet: Packet, now: int) -> bool:
         """Hook: the PRA interface defers packets pinned for later slots."""
         return True
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "queues": [
+                [ctx.packet_ref(packet) for packet in queue]
+                for queue in self.queues
+            ],
+            "rr": self._rr,
+            "holder_next_flit": self._holder_next_flit,
+            "port": self.port.state_dict(ctx),
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        self.queues = [
+            deque(ctx.packet(ref) for ref in refs)
+            for refs in state["queues"]
+        ]
+        self._rr = state["rr"]
+        self._holder_next_flit = state["holder_next_flit"]
+        self.port.load_state(state["port"], ctx)
 
     # -- ejection ------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 from repro.faults.injector import NULL_FAULTS
 from repro.noc.stats import NetworkStats
 from repro.noc.packet import Packet
-from repro.noc.topology import CARDINALS, MeshTopology
+from repro.noc.topology import Direction, MeshTopology
 from repro.params import NocKind, NocParams
 from repro.trace.tracer import NULL_TRACER
 
@@ -35,6 +35,10 @@ _ARRIVAL = 0
 _EJECT = 1
 _CREDIT = 2
 _CALL = 3
+
+#: Sentinel for :meth:`Network.attach` keywords that were not passed
+#: (``None`` already means "detach", so absence needs its own marker).
+_KEEP = object()
 
 
 class Network:
@@ -68,32 +72,23 @@ class Network:
         #: Attached :class:`repro.invariants.InvariantSuite`, or None.
         self.invariants = None
 
-    # -- tracing ----------------------------------------------------------
+    # -- observers (tracer, fault injector, invariant suite) ---------------
 
-    def attach_tracer(self, tracer) -> None:
-        """Start emitting lifecycle events into ``tracer``."""
-        self.tracer = tracer
+    def attach(self, *, tracer=_KEEP, faults=_KEEP, invariants=_KEEP) -> None:
+        """Attach or detach observers through one code path.
 
-    def detach_tracer(self) -> None:
-        """Stop tracing (restore the null tracer)."""
-        self.tracer = NULL_TRACER
-
-    # -- fault injection and invariant checking ---------------------------
-
-    def attach_faults(self, injector) -> None:
-        """Start consulting ``injector`` at every fault site."""
-        self.faults = injector
-
-    def detach_faults(self) -> None:
-        """Stop injecting faults (restore the null injector)."""
-        self.faults = NULL_FAULTS
-
-    def attach_invariants(self, suite) -> None:
-        """Run ``suite``'s checks at the end of every cycle."""
-        self.invariants = suite
-
-    def detach_invariants(self) -> None:
-        self.invariants = None
+        Each keyword left at its default keeps the current observer;
+        passing ``None`` explicitly detaches (restoring the null object
+        that keeps the hot path to a single attribute check).  This is
+        the single attachment point — checkpoint restore, the chaos
+        harness, and the tracing CLI all go through it.
+        """
+        if tracer is not _KEEP:
+            self.tracer = tracer if tracer is not None else NULL_TRACER
+        if faults is not _KEEP:
+            self.faults = faults if faults is not None else NULL_FAULTS
+        if invariants is not _KEEP:
+            self.invariants = invariants
 
     # -- client API -------------------------------------------------------
 
@@ -294,6 +289,75 @@ class Network:
     def _head_arrived(self, packet: Packet, now: int) -> None:
         if self._head_handler is not None:
             self._head_handler(packet, now)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _encode_event(self, event, ctx) -> list:
+        kind = event[0]
+        if kind == _ARRIVAL:
+            _, router, direction, vc_index, flit = event
+            return ["a", router.node, int(direction), vc_index,
+                    ctx.flit_ref(flit)]
+        if kind == _EJECT:
+            _, ni, flit = event
+            return ["e", ni.node, ctx.flit_ref(flit)]
+        if kind == _CREDIT:
+            _, port, vc_index = event
+            return ["c", ctx.port_ref(port), vc_index]
+        _, fn, args = event
+        return ["f", ctx.callback_ref(fn), [ctx.ref(arg) for arg in args]]
+
+    def _decode_event(self, encoded: list, ctx) -> tuple:
+        tag = encoded[0]
+        if tag == "a":
+            return (_ARRIVAL, self.routers[encoded[1]],
+                    Direction(encoded[2]), encoded[3], ctx.flit(encoded[4]))
+        if tag == "e":
+            return (_EJECT, self.interfaces[encoded[1]], ctx.flit(encoded[2]))
+        if tag == "c":
+            return (_CREDIT, ctx.port(encoded[1]), encoded[2])
+        return (_CALL, ctx.callback(encoded[1]),
+                tuple(ctx.deref(arg) for arg in encoded[2]))
+
+    def state_dict(self, ctx) -> dict:
+        """Mutable network state.  Wake queues serialize sorted (the
+        step loop sorts them anyway) but event *buckets* keep their
+        exact append order — same-cycle events run in insertion order."""
+        return {
+            "cycle": self.cycle,
+            "stats": self.stats.state_dict(),
+            "ni_queue": sorted(self._ni_queue),
+            "router_queue": sorted(self._router_queue),
+            "events": [
+                [time, [self._encode_event(event, ctx) for event in bucket]]
+                for time, bucket in sorted(self._events.items())
+            ],
+            "routers": [router.state_dict(ctx) for router in self.routers],
+            "interfaces": [ni.state_dict(ctx) for ni in self.interfaces],
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        self.cycle = state["cycle"]
+        self.stats.load_state(state["stats"])
+        num_nodes = self.topology.num_nodes
+        self._ni_awake = [False] * num_nodes
+        self._ni_queue = []
+        for node in state["ni_queue"]:
+            self.wake_ni(node)
+        self._router_awake = [False] * num_nodes
+        self._router_queue = []
+        for node in state["router_queue"]:
+            self.wake_router(node)
+        # Written directly: ``_push`` rejects past timestamps, but the
+        # restored cycle counter is already mid-run.
+        self._events = {
+            time: [self._decode_event(event, ctx) for event in bucket]
+            for time, bucket in state["events"]
+        }
+        for router, router_state in zip(self.routers, state["routers"]):
+            router.load_state(router_state, ctx)
+        for ni, ni_state in zip(self.interfaces, state["interfaces"]):
+            ni.load_state(ni_state, ctx)
 
 
 def build_network(params: NocParams) -> Network:

@@ -9,19 +9,37 @@ control-packet run (see :mod:`repro.core.control_network`).
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.noc.flit import Flit
 from repro.params import MessageClass, PACKET_FLITS
 
-_pid_counter = itertools.count()
+#: Next packet id to hand out.  A plain module int (rather than
+#: ``itertools.count``) so checkpoints can capture and restore it.
+_next_pid = 0
+
+
+def _new_pid() -> int:
+    global _next_pid
+    pid = _next_pid
+    _next_pid = pid + 1
+    return pid
+
+
+def peek_next_pid() -> int:
+    """The id the next ``Packet()`` will receive (checkpoint support)."""
+    return _next_pid
+
+
+def set_next_pid(value: int) -> None:
+    """Restart packet numbering from ``value`` (checkpoint restore)."""
+    global _next_pid
+    _next_pid = value
 
 
 def reset_packet_ids() -> None:
     """Restart packet numbering (test isolation helper)."""
-    global _pid_counter
-    _pid_counter = itertools.count()
+    set_next_pid(0)
 
 
 class Packet:
@@ -67,7 +85,7 @@ class Packet:
             size = PACKET_FLITS[msg_class]
         if size < 1:
             raise ValueError("packet size must be at least one flit")
-        self.pid = next(_pid_counter)
+        self.pid = _new_pid()
         self.src = src
         self.dst = dst
         self.msg_class = msg_class
@@ -102,6 +120,57 @@ class Packet:
             self.flits = flits
             return flits
         raise AttributeError(name)
+
+    def state_dict(self, ctx) -> Dict[str, Any]:
+        """Serializable snapshot of this packet (see ``repro.checkpoint``).
+
+        ``flits`` is deliberately absent: flits are a pure function of
+        ``(packet, index)`` and references to them serialize as
+        ``["flit", pid, index]``, which rematerializes them on demand.
+        """
+        return {
+            "pid": self.pid,
+            "src": self.src,
+            "dst": self.dst,
+            "msg_class": self.msg_class.value,
+            "size": self.size,
+            "vc_index": self.vc_index,
+            "created": self.created,
+            "injected": self.injected,
+            "ejected": self.ejected,
+            "payload": ctx.ref(self.payload),
+            "pra_plan": ctx.plan_ref(self.pra_plan),
+            "pra_pending": self.pra_pending,
+            "pra_blocked_cycles": self.pra_blocked_cycles,
+            "hops_taken": self.hops_taken,
+            "ring_layer": self.ring_layer,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Packet":
+        """Rebuild a packet shell without consuming a fresh pid.
+
+        ``payload`` and ``pra_plan`` are cross-references wired by the
+        restore context after every registry object exists.
+        """
+        packet = cls.__new__(cls)
+        packet.pid = state["pid"]
+        packet.src = state["src"]
+        packet.dst = state["dst"]
+        packet.msg_class = MessageClass(state["msg_class"])
+        packet.size = state["size"]
+        packet.vc_index = state["vc_index"]
+        packet.is_multi_flit = state["size"] > 1
+        packet.created = state["created"]
+        packet.injected = state["injected"]
+        packet.ejected = state["ejected"]
+        packet.payload = None
+        packet.pra_plan = None
+        packet.pra_pending = state["pra_pending"]
+        packet.pra_blocked_cycles = state["pra_blocked_cycles"]
+        packet.hops_taken = state["hops_taken"]
+        packet.ring_layer = state["ring_layer"]
+        return packet
 
     def network_latency(self) -> Optional[int]:
         if self.injected is None or self.ejected is None:

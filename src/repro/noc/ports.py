@@ -247,3 +247,36 @@ class OutputPort:
 
     def return_credit(self, vc_index: int) -> None:
         self.credits[vc_index] += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        active_vc = None
+        if self.active_vc is not None:
+            active_vc = [int(self.active_vc.unit.direction),
+                         self.active_vc.index]
+        return {
+            "credits": list(self.credits),
+            "reserved": list(self.reserved),
+            "held_by": ctx.packet_ref(self.held_by),
+            "active_vc": active_vc,
+            "held_dst_vc": self.held_dst_vc,
+            "holder_sent": self.holder_sent,
+            "flits_sent": self.flits_sent,
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        self.credits = list(state["credits"])
+        self.reserved = list(state["reserved"])
+        self.held_by = ctx.packet(state["held_by"])
+        active_vc = state["active_vc"]
+        if active_vc is None:
+            self.active_vc = None
+        else:
+            if self.router is None:
+                raise ValueError("NI injection ports never hold a source VC")
+            unit = self.router.input_units[Direction(active_vc[0])]
+            self.active_vc = unit.vcs[active_vc[1]]
+        self.held_dst_vc = state["held_dst_vc"]
+        self.holder_sent = state["holder_sent"]
+        self.flits_sent = state["flits_sent"]

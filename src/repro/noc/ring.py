@@ -19,7 +19,7 @@ speculative pipeline (2 cycles/hop at zero load).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from repro.noc.interface import NetworkInterface
 from repro.noc.network import Network

@@ -18,7 +18,7 @@ in-flight packet — the property the Long Stall Detection unit exploits.
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
@@ -213,6 +213,42 @@ class BaseRouter:
                     break
         self._rr[direction] = choice.rr_key
         return choice
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Mutable router state; wiring and caches are reconstruction."""
+        return {
+            "units": [
+                [int(direction), [vc.state_dict(ctx) for vc in unit.vcs]]
+                for direction, unit in self.input_units.items()
+            ],
+            "ports": [
+                [int(direction), port.state_dict(ctx)]
+                for direction, port in self.output_ports.items()
+            ],
+            "active_flits": self.active_flits,
+            "rr": [
+                [int(direction), list(key) if key is not None else None]
+                for direction, key in self._rr.items()
+            ],
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        for direction_value, vc_states in state["units"]:
+            unit = self.input_units[Direction(direction_value)]
+            for vc, vc_state in zip(unit.vcs, vc_states):
+                vc.load_state(vc_state, ctx)
+        for direction_value, port_state in state["ports"]:
+            self.output_ports[Direction(direction_value)].load_state(
+                port_state, ctx
+            )
+        self.active_flits = state["active_flits"]
+        self._rr = {
+            Direction(direction_value):
+                tuple(key) if key is not None else None
+            for direction_value, key in state["rr"]
+        }
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(node={self.node})"

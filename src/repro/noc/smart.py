@@ -190,6 +190,28 @@ class SmartRouter(MeshRouter):
             return None
         return via_port
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        state = super().state_dict(ctx)
+        state["bypasses"] = [
+            [int(direction), ctx.packet_ref(bypass.packet),
+             bypass.via_port.router.node, int(bypass.via_port.direction)]
+            for direction, bypass in self._bypasses.items()
+        ]
+        return state
+
+    def load_state(self, state: dict, ctx) -> None:
+        super().load_state(state, ctx)
+        self._bypasses = {}
+        for direction_value, packet_ref, via_node, via_dir in state["bypasses"]:
+            via_port = self.network.routers[via_node].output_ports[
+                Direction(via_dir)
+            ]
+            self._bypasses[Direction(direction_value)] = _BypassState(
+                ctx.packet(packet_ref), via_port
+            )
+
     def _has_local_candidate(self, direction: Direction) -> bool:
         for unit in self._unit_list:
             for vc in unit.vcs:

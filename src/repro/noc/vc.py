@@ -83,6 +83,18 @@ class VirtualChannel:
             self.next_claim = None
         return flit
 
+    def state_dict(self, ctx) -> dict:
+        return {
+            "flits": [ctx.flit_ref(flit) for flit in self.flits],
+            "allocated_to": ctx.packet_ref(self.allocated_to),
+            "next_claim": ctx.packet_ref(self.next_claim),
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        self.flits = deque(ctx.flit(ref) for ref in state["flits"])
+        self.allocated_to = ctx.packet(state["allocated_to"])
+        self.next_claim = ctx.packet(state["next_claim"])
+
     def __repr__(self) -> str:
         owner = self.allocated_to.pid if self.allocated_to else None
         return f"VC(idx={self.index}, occ={len(self.flits)}, owner={owner})"

@@ -120,6 +120,33 @@ class CoreModel:
             self.stall_cycles += now - self._stall_started
             self._stall_started = None
 
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "trace": self.trace.state_dict(),
+            "instructions_retired": self.instructions_retired,
+            "outstanding_data": self.outstanding_data,
+            "waiting_instruction": self.waiting_instruction,
+            "stalled_on_mlp": self.stalled_on_mlp,
+            "stall_cycles": self.stall_cycles,
+            "stall_started": self._stall_started,
+            "started": self._started,
+        }
+
+    def load_state(self, state: dict) -> None:
+        # Flags are written directly: ``start()`` raises on a restarted
+        # core, and the first execution window is already in the event
+        # queue of the restored network.
+        self.trace.load_state(state["trace"])
+        self.instructions_retired = state["instructions_retired"]
+        self.outstanding_data = state["outstanding_data"]
+        self.waiting_instruction = state["waiting_instruction"]
+        self.stalled_on_mlp = state["stalled_on_mlp"]
+        self.stall_cycles = state["stall_cycles"]
+        self._stall_started = state["stall_started"]
+        self._started = state["started"]
+
     def __repr__(self) -> str:
         return (
             f"CoreModel(node={self.node}, retired={self.instructions_retired})"

@@ -163,7 +163,7 @@ class PraProbe:
         tracer = self.network.tracer
         if not tracer.enabled:
             tracer = RingTracer(capacity=_PROBE_RING_CAPACITY)
-            self.network.attach_tracer(tracer)
+            self.network.attach(tracer=tracer)
             self._own_tracer = tracer
         tracer.subscribe(self._sink.consume)
 
@@ -172,7 +172,7 @@ class PraProbe:
         if self._own_tracer is not None and (
             self.network.tracer is self._own_tracer
         ):
-            self.network.detach_tracer()
+            self.network.attach(tracer=None)
         self._own_tracer = None
 
     def report(self) -> LatencyReport:

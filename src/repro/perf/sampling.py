@@ -10,7 +10,7 @@ behavior), aggregated with a Student-t 95% confidence interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.params import ChipParams, NocKind
 from repro.perf.metrics import mean, stddev

@@ -78,6 +78,44 @@ class PerfSample:
             "timed_out": self.timed_out,
         }
 
+    # -- checkpointing ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Full round-trippable form for the evaluation-grid cell store.
+
+        Separate from :meth:`to_dict`, whose key set is pinned by the
+        golden digests and which drops fields (e.g. ``flits_delivered``)
+        that the power model needs back.
+        """
+        return {
+            "workload": self.workload,
+            "noc_kind": self.noc_kind.value,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "packets": self.packets,
+            "avg_network_latency": self.avg_network_latency,
+            "avg_transaction_latency": self.avg_transaction_latency,
+            "control_packets": self.control_packets,
+            "control_per_data": self.control_per_data,
+            "lag_distribution": [
+                [lag, frac] for lag, frac in self.lag_distribution.items()
+            ],
+            "pra_blocked_fraction": self.pra_blocked_fraction,
+            "flits_delivered": self.flits_delivered,
+            "total_hops": self.total_hops,
+            "packets_unfinished": self.packets_unfinished,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PerfSample":
+        state = dict(state)
+        state["noc_kind"] = NocKind(state["noc_kind"])
+        state["lag_distribution"] = {
+            lag: frac for lag, frac in state["lag_distribution"]
+        }
+        return cls(**state)
+
 
 class SystemSimulator:
     """Assembles and runs one (workload, NoC) configuration."""
@@ -111,11 +149,40 @@ class SystemSimulator:
         ]
         self.chip.on_complete = self._route_completion
         self._started = False
+        #: Counter snapshot taken at the measurement interval's start
+        #: (``None`` outside an interval), and the cycle it was taken.
+        self._interval_start: Optional["_Snapshot"] = None
+        self._interval_cycle0 = 0
 
     def _route_completion(self, txn: Transaction, now: int) -> None:
         self.cores[txn.core_node].on_complete(txn, now)
 
     # -- measurement --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all cores (idempotent)."""
+        if self._started:
+            return
+        for core in self.cores:
+            core.start()
+        self._started = True
+
+    def begin_interval(self) -> None:
+        """Mark the start of a measurement interval."""
+        self._interval_start = _Snapshot.take(self)
+        self._interval_cycle0 = self.chip.cycle
+
+    def end_interval(self) -> PerfSample:
+        """Close the open measurement interval and report it."""
+        if self._interval_start is None:
+            raise RuntimeError("no measurement interval is open")
+        end = _Snapshot.take(self)
+        sample = self._diff(
+            self._interval_start, end, self.chip.cycle - self._interval_cycle0
+        )
+        self._interval_start = None
+        self._interval_cycle0 = 0
+        return sample
 
     def run_sample(
         self,
@@ -130,19 +197,14 @@ class SystemSimulator:
         cycles it did simulate with ``timed_out=True`` instead of hanging
         the harness.
         """
-        if not self._started:
-            for core in self.cores:
-                core.start()
-            self._started = True
+        self.start()
         deadline = (
             time.monotonic() + wall_limit if wall_limit is not None else None
         )
         self._run_budget(warmup, deadline)
-        start = _Snapshot.take(self)
-        before = self.chip.cycle
+        self.begin_interval()
         hit_limit = self._run_budget(measure, deadline)
-        end = _Snapshot.take(self)
-        sample = self._diff(start, end, self.chip.cycle - before)
+        sample = self.end_interval()
         sample.timed_out = hit_limit
         return sample
 
@@ -197,6 +259,31 @@ class SystemSimulator:
             ),
         )
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "started": self._started,
+            "interval": (
+                self._interval_start.state_dict()
+                if self._interval_start is not None else None
+            ),
+            "interval_cycle0": self._interval_cycle0,
+            "chip": self.chip.state_dict(ctx),
+            "cores": [core.state_dict() for core in self.cores],
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        self._started = state["started"]
+        self._interval_start = (
+            _Snapshot.from_state(state["interval"])
+            if state["interval"] is not None else None
+        )
+        self._interval_cycle0 = state["interval_cycle0"]
+        self.chip.load_state(state["chip"], ctx)
+        for core, sub in zip(self.cores, state["cores"]):
+            core.load_state(sub)
+
 
 class _Snapshot:
     """Counter snapshot for interval differencing."""
@@ -224,6 +311,39 @@ class _Snapshot:
         snap.hops = stats.total_hops
         return snap
 
+    def state_dict(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "injected": self.injected,
+            "ejected": self.ejected,
+            "lat_len": self.lat_len,
+            "txn_latency_sum": self.txn_latency_sum,
+            "txn_latency_count": self.txn_latency_count,
+            "control": self.control,
+            "lag_counter": sorted(self.lag_counter.items()),
+            "blocked": self.blocked,
+            "flits": self.flits,
+            "hops": self.hops,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_Snapshot":
+        snap = cls()
+        snap.instructions = state["instructions"]
+        snap.injected = state["injected"]
+        snap.ejected = state["ejected"]
+        snap.lat_len = state["lat_len"]
+        snap.txn_latency_sum = state["txn_latency_sum"]
+        snap.txn_latency_count = state["txn_latency_count"]
+        snap.control = state["control"]
+        snap.lag_counter = Counter(
+            {lag: count for lag, count in state["lag_counter"]}
+        )
+        snap.blocked = state["blocked"]
+        snap.flits = state["flits"]
+        snap.hops = state["hops"]
+        return snap
+
 
 def simulate(
     workload: Union[str, WorkloadProfile],
@@ -244,6 +364,6 @@ def simulate(
     sim = SystemSimulator(workload, noc_kind, chip_params=chip_params,
                           seed=seed)
     if tracer is not None:
-        sim.chip.network.attach_tracer(tracer)
+        sim.chip.network.attach(tracer=tracer)
     return sim.run_sample(warmup=warmup, measure=measure,
                           wall_limit=wall_limit)

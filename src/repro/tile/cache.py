@@ -9,7 +9,7 @@ instead (see DESIGN.md, substitution table).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.tile.address import BLOCK_BYTES, block_of
 
@@ -71,3 +71,25 @@ class SetAssociativeCache:
     @property
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Each set is serialized in LRU order (OrderedDict order is the
+        replacement policy's state, not an implementation detail)."""
+        return {
+            "sets": [
+                [[block, dirty] for block, dirty in entries.items()]
+                for entries in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._sets = [
+            OrderedDict((block, dirty) for block, dirty in entries)
+            for entries in state["sets"]
+        ]
+        self.hits = state["hits"]
+        self.misses = state["misses"]

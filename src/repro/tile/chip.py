@@ -154,3 +154,30 @@ class Chip:
                 created=self.cycle,
             )
         )
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        from repro.checkpoint.codec import rng_state
+
+        return {
+            "rng": rng_state(self.rng),
+            "coherence_sent": self.coherence_sent,
+            "network": self.network.state_dict(ctx),
+            "slices": [llc.state_dict() for llc in self.slices],
+            "directories": [d.state_dict() for d in self.directories],
+            "channels": [ch.state_dict() for ch in self.channels],
+        }
+
+    def load_state(self, state: dict, ctx) -> None:
+        from repro.checkpoint.codec import set_rng_state
+
+        set_rng_state(self.rng, state["rng"])
+        self.coherence_sent = state["coherence_sent"]
+        self.network.load_state(state["network"], ctx)
+        for llc, sub in zip(self.slices, state["slices"]):
+            llc.load_state(sub)
+        for directory, sub in zip(self.directories, state["directories"]):
+            directory.load_state(sub)
+        for channel, sub in zip(self.channels, state["channels"]):
+            channel.load_state(sub)

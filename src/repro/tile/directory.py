@@ -11,7 +11,7 @@ draws a per-workload coherence fraction (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set
+from typing import Dict, List, Set
 
 
 class DirectorySlice:
@@ -46,3 +46,28 @@ class DirectorySlice:
     @property
     def tracked_blocks(self) -> int:
         return len(self._sharers)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Blocks in insertion order (the eviction policy pops the
+        oldest entry); each sharer set sorted.  A sharer set built by
+        ``add`` alone iterates by value layout, not insertion history,
+        so re-adding the sorted members reproduces the original
+        invalidation order in :meth:`record_write`."""
+        return {
+            "sharers": [
+                [block, sorted(members)]
+                for block, members in self._sharers.items()
+            ],
+            "invalidations_sent": self.invalidations_sent,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._sharers = {}
+        for block, members in state["sharers"]:
+            sharers: Set[int] = set()
+            for member in members:
+                sharers.add(member)
+            self._sharers[block] = sharers
+        self.invalidations_sent = state["invalidations_sent"]

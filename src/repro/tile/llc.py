@@ -22,9 +22,8 @@ Hit/miss can be decided two ways:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.noc.packet import Packet
 from repro.params import MessageClass
@@ -34,7 +33,25 @@ from repro.tile.cache import SetAssociativeCache
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tile.chip import Chip
 
-_txn_ids = itertools.count()
+#: Module-wide transaction id counter; a plain int (not itertools.count)
+#: so checkpoints can save and restore it.
+_next_tid = 0
+
+
+def _new_tid() -> int:
+    global _next_tid
+    tid = _next_tid
+    _next_tid += 1
+    return tid
+
+
+def peek_next_tid() -> int:
+    return _next_tid
+
+
+def set_next_tid(value: int) -> None:
+    global _next_tid
+    _next_tid = value
 
 
 @dataclass
@@ -46,7 +63,7 @@ class Transaction:
     is_instruction: bool
     is_write: bool = False
     issued_at: int = 0
-    tid: int = field(default_factory=lambda: next(_txn_ids))
+    tid: int = field(default_factory=_new_tid)
     #: Filled in as the transaction progresses.
     home: int = -1
     llc_hit: Optional[bool] = None
@@ -57,6 +74,26 @@ class Transaction:
         if self.completed_at is None:
             return None
         return self.completed_at - self.issued_at
+
+    # -- checkpointing ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "core_node": self.core_node,
+            "addr": self.addr,
+            "is_instruction": self.is_instruction,
+            "is_write": self.is_write,
+            "issued_at": self.issued_at,
+            "tid": self.tid,
+            "home": self.home,
+            "llc_hit": self.llc_hit,
+            "completed_at": self.completed_at,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Transaction":
+        # ``tid`` is passed explicitly, so the id factory is not called.
+        return cls(**state)
 
 
 class LlcSlice:
@@ -152,9 +189,9 @@ class LlcSlice:
                 created=now,
                 payload=txn,
             )
-        done = channel.access(
-            now, lambda _done: self._mem_done(txn, response)
-        )
+        # Arguments are passed positionally (not closed over) so the
+        # pending completion is checkpointable.
+        done = channel.access(now, self._mem_done, txn, response)
         if response is not None and self._memory_trigger_enabled():
             # Extension: the DRAM completion time is deterministic at
             # issue, so the controller can pre-allocate the miss
@@ -189,3 +226,22 @@ class LlcSlice:
         self.chip.directories[self.node].record_read(
             block_of(txn.addr), txn.core_node
         )
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = {
+            "busy_until": self._busy_until,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.cache is not None:
+            state["cache"] = self.cache.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self._busy_until = state["busy_until"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        if self.cache is not None:
+            self.cache.load_state(state["cache"])

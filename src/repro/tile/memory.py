@@ -27,20 +27,38 @@ class MemoryChannel:
         self.accesses = 0
         self.busy_cycles = 0
 
-    def access(self, now: int, on_done: Callable[[int], None]) -> int:
-        """Issue an access; ``on_done(done_time)`` fires at completion.
+    def access(self, now: int, on_done: Callable[..., None], *args) -> int:
+        """Issue an access; ``on_done(*args)`` fires at completion.
 
-        Returns the completion time (deterministic at issue).
+        Returns the completion time (deterministic at issue).  The
+        callback is scheduled with its arguments spelled out (rather
+        than closed over) so the pending completion survives a
+        checkpoint: bound methods and plain values are serializable,
+        closures are not.
         """
         start = max(now + 1, self._next_free)
         self._next_free = start + self.params.service_cycles
         done = start + self.params.access_cycles
         self.accesses += 1
         self.busy_cycles += self.params.service_cycles
-        self._schedule(done, on_done, done)
+        self._schedule(done, on_done, *args)
         return done
 
     def utilization(self, elapsed_cycles: int) -> float:
         if elapsed_cycles <= 0:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "next_free": self._next_free,
+            "accesses": self.accesses,
+            "busy_cycles": self.busy_cycles,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._next_free = state["next_free"]
+        self.accesses = state["accesses"]
+        self.busy_cycles = state["busy_cycles"]

@@ -13,7 +13,7 @@ Example::
 
     net = build_network(NocParams(kind=NocKind.MESH_PRA))
     tracer = RingTracer()
-    net.attach_tracer(tracer)
+    net.attach(tracer=tracer)
     ...  # run traffic
     tracer.write_jsonl("run.jsonl")
     print(reconstruct("run.jsonl", pid=42).render())

@@ -18,7 +18,6 @@ from repro.trace.events import (
     EV_CONTROL_INJECT,
     EV_CONTROL_SEGMENT,
     EV_EJECT,
-    EV_LATCH_BYPASS,
     EV_PACKET_INJECT,
     EV_RESERVATION_COMMIT,
     PLAN_KINDS,

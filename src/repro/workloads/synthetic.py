@@ -122,3 +122,33 @@ class SyntheticTraffic:
         )
         self.network.send(reply)
         self.offered += 1
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from repro.checkpoint.codec import rng_state
+
+        return {
+            "pattern": self.pattern.value,
+            "rate": self.rate,
+            "hotspot_nodes": list(self.hotspot_nodes),
+            "response_size": self.response_size,
+            "offered": self.offered,
+            "rng": rng_state(self.rng),
+        }
+
+    @classmethod
+    def from_state(cls, network: Network, state: dict) -> "SyntheticTraffic":
+        from repro.checkpoint.codec import set_rng_state
+
+        # The constructor re-registers the REQUEST_REPLY delivery hook.
+        traffic = cls(
+            network,
+            TrafficPattern(state["pattern"]),
+            state["rate"],
+            hotspot_nodes=list(state["hotspot_nodes"]),
+            response_size=state["response_size"],
+        )
+        traffic.offered = state["offered"]
+        set_rng_state(traffic.rng, state["rng"])
+        return traffic

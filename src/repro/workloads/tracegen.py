@@ -88,3 +88,15 @@ class AccessTraceGenerator:
         """Yield ``count`` (instruction_gap, access) pairs."""
         for _ in range(count):
             yield self.next_gap(), self.next_access()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from repro.checkpoint.codec import rng_state
+
+        return {"rng": rng_state(self.rng)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.checkpoint.codec import set_rng_state
+
+        set_rng_state(self.rng, state["rng"])

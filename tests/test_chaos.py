@@ -28,9 +28,9 @@ def chaos_run(net, fault_seed, rate=0.03, cycles=CYCLES, intensity=1.0):
         fault_seed, net.topology.num_nodes, cycles, intensity=intensity
     )
     injector = FaultInjector(schedule)
-    net.attach_faults(injector)
+    net.attach(faults=injector)
     suite = InvariantSuite(audit_period=8)
-    net.attach_invariants(suite)
+    net.attach(invariants=suite)
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, rate, seed=fault_seed + 1
     ).run(cycles)
@@ -42,7 +42,7 @@ def chaos_run(net, fault_seed, rate=0.03, cycles=CYCLES, intensity=1.0):
         f"{net.stats.in_flight} packets lost under fault seed {fault_seed}: "
         f"{injector.summary()}"
     )
-    net.detach_invariants()
+    net.attach(invariants=None)
     assert_quiescent(net)
     return injector
 
@@ -78,9 +78,9 @@ def test_ring_stall_only_schedule():
                       duration=25),
         ),
     )
-    net.attach_faults(FaultInjector(schedule))
+    net.attach(faults=FaultInjector(schedule))
     suite = InvariantSuite(audit_period=8)
-    net.attach_invariants(suite)
+    net.attach(invariants=suite)
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, 0.04, seed=6
     ).run(400)
@@ -88,7 +88,7 @@ def test_ring_stall_only_schedule():
         net.step()
     assert suite.violations == []
     assert net.stats.packets_ejected == net.stats.packets_injected
-    net.detach_invariants()
+    net.attach(invariants=None)
     assert_quiescent(net)
 
 

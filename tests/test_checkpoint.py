@@ -1,0 +1,358 @@
+"""Checkpoint round-trips: golden digests, adversarial snapshots, and
+the resumable evaluation grid.
+
+The strongest form of each test is *bit-for-bit continuation*: snapshot
+a run mid-flight, push the snapshot through a real serialization
+boundary (``json.dumps`` or an actual file), restore into freshly built
+objects, continue, and require the exact digest a straight run
+produces.  Snapshot points are chosen adversarially — mid
+multi-flit packet, mid reservation window, under an active fault
+schedule, and on the ring topology that ``ALL_KINDS`` excludes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CellStore,
+    read_snapshot,
+    restore_network,
+    restore_system,
+    run_digest,
+    snapshot_network,
+    snapshot_system,
+    write_snapshot,
+)
+from repro.faults import FaultInjector, FaultSchedule
+from repro.noc.network import build_network
+from repro.noc.packet import reset_packet_ids
+from repro.noc.ring import build_ring
+from repro.params import NocKind, NocParams
+from repro.perf.system import PerfSample, SystemSimulator
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+from tests.test_golden_determinism import (
+    ALL_KINDS,
+    GOLDEN_NETWORK,
+    GOLDEN_SYSTEM,
+    _digest,
+)
+
+#: The golden network scenario (must match test_golden_determinism).
+_RATE, _SEED, _CYCLES, _DRAIN = 0.02, 7, 800, 20000
+
+
+def _json_round_trip(snap: dict) -> dict:
+    """The serialization boundary every in-process test crosses."""
+    return json.loads(json.dumps(snap))
+
+
+def _build_golden(kind: NocKind):
+    reset_packet_ids()
+    net = build_network(NocParams(kind=kind, mesh_width=8, mesh_height=8))
+    traffic = SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, _RATE,
+                               seed=_SEED)
+    return net, traffic
+
+
+# -- golden digests through a snapshot boundary ----------------------------
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+def test_network_restore_reproduces_golden_digest(kind):
+    net, traffic = _build_golden(kind)
+    traffic.run(_CYCLES // 2)
+    snap = _json_round_trip(snapshot_network(net, traffic))
+    net2, traffic2 = restore_network(snap)
+    assert net2 is not net
+    traffic2.run(_CYCLES - _CYCLES // 2)
+    net2.drain(max_cycles=_DRAIN)
+    assert _digest(net2.stats.summary()) == GOLDEN_NETWORK[kind]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+def test_system_restore_reproduces_golden_digest(kind, tmp_path):
+    reset_packet_ids()
+    sim = SystemSimulator("Web Search", kind, seed=5)
+    sim.start()
+    sim.chip.run(200)
+    sim.begin_interval()
+    sim.chip.run(300)
+    path = str(tmp_path / "mid-measure.json")
+    write_snapshot(snapshot_system(sim), path)
+    sim2 = restore_system(read_snapshot(path))
+    sim2.chip.run(500)
+    sample = sim2.end_interval()
+    digest = _digest({
+        "sample": sample.to_dict(),
+        "stats": sim2.chip.network.stats.summary(),
+    })
+    assert digest == GOLDEN_SYSTEM[kind]
+    assert digest == run_digest(sample, sim2.chip.network.stats.summary())
+
+
+# -- adversarial snapshot points -------------------------------------------
+
+
+def _continue_and_digest(net, traffic, remaining: int) -> str:
+    traffic.run(remaining)
+    net.drain(max_cycles=_DRAIN)
+    return _digest(net.stats.summary())
+
+
+def _snapshot_when(kind: NocKind, predicate, limit: int = _CYCLES):
+    """Step the golden scenario until ``predicate(net)`` holds, then
+    return (json-round-tripped snapshot, cycles remaining)."""
+    net, traffic = _build_golden(kind)
+    for cycle in range(limit):
+        traffic.step()
+        if predicate(net):
+            snap = _json_round_trip(snapshot_network(net, traffic))
+            return snap, limit - (cycle + 1)
+    raise AssertionError("snapshot predicate never became true")
+
+
+def _mid_multi_flit(net) -> bool:
+    """Some output port is partway through forwarding a multi-flit
+    packet (its winner-holding state and per-packet send count are
+    exactly what a naive snapshot would lose)."""
+    for router in net.routers:
+        for port in router.output_ports.values():
+            pkt = port.held_by
+            if pkt is not None and pkt.size > 1 and \
+                    0 < port.holder_sent < pkt.size:
+                return True
+    return False
+
+
+def _mid_reservation(net) -> bool:
+    """Some PRA output port has a live reservation window."""
+    return any(
+        len(port.reservations) > 0
+        for router in net.routers
+        for port in router.output_ports.values()
+        if hasattr(port, "reservations")
+    )
+
+
+def test_snapshot_mid_multi_flit_packet():
+    snap, remaining = _snapshot_when(NocKind.MESH, _mid_multi_flit)
+    net2, traffic2 = restore_network(snap)
+    assert _mid_multi_flit(net2)  # restored into the same awkward spot
+    digest = _continue_and_digest(net2, traffic2, remaining)
+    assert digest == GOLDEN_NETWORK[NocKind.MESH]
+
+
+def test_snapshot_mid_reservation_window():
+    snap, remaining = _snapshot_when(NocKind.MESH_PRA, _mid_reservation)
+    net2, traffic2 = restore_network(snap)
+    assert _mid_reservation(net2)
+    digest = _continue_and_digest(net2, traffic2, remaining)
+    assert digest == GOLDEN_NETWORK[NocKind.MESH_PRA]
+
+
+def _chaos_run(snapshot_at: int):
+    """The chaos scenario: mesh+PRA with an active random fault
+    schedule.  Returns the straight-run digest and, when
+    ``snapshot_at`` is reached, a snapshot taken mid-run."""
+    reset_packet_ids()
+    cycles = 400
+    net = build_network(NocParams(kind=NocKind.MESH_PRA,
+                                  mesh_width=4, mesh_height=4))
+    schedule = FaultSchedule.random(11, net.topology.num_nodes, cycles)
+    net.attach(faults=FaultInjector(schedule))
+    traffic = SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, 0.03,
+                               seed=3)
+    traffic.run(snapshot_at)
+    snap = _json_round_trip(snapshot_network(net, traffic))
+    traffic.run(cycles - snapshot_at)
+    net.drain(max_cycles=_DRAIN)
+    return _digest(net.stats.summary()), snap, schedule, cycles - snapshot_at
+
+
+def test_snapshot_with_fault_schedule_attached():
+    straight, snap, schedule, remaining = _chaos_run(snapshot_at=150)
+    net2, traffic2 = restore_network(snap)
+    # Observers are not part of the snapshot; restore re-attaches them
+    # through the same single code path every caller uses.  Injection
+    # decisions are pure functions of (schedule, site, cycle), so a
+    # fresh injector continues the schedule exactly.
+    net2.attach(faults=FaultInjector(schedule))
+    assert _continue_and_digest(net2, traffic2, remaining) == straight
+
+
+def test_snapshot_on_ring_topology():
+    reset_packet_ids()
+    cycles, half = 600, 300
+    net = build_ring(16)
+    traffic = SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, 0.05,
+                               seed=9)
+    traffic.run(cycles)
+    net.drain(max_cycles=_DRAIN)
+    straight = _digest(net.stats.summary())
+
+    reset_packet_ids()
+    net = build_ring(16)
+    traffic = SyntheticTraffic(net, TrafficPattern.UNIFORM_RANDOM, 0.05,
+                               seed=9)
+    traffic.run(half)
+    snap = _json_round_trip(snapshot_network(net, traffic))
+    assert snap["network_class"] == "ring"
+    net2, traffic2 = restore_network(snap)
+    assert _continue_and_digest(net2, traffic2, cycles - half) == straight
+
+
+# -- snapshot file formats -------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["snap.json", "snap.json.gz", "snap.npz"])
+def test_snapshot_file_formats_round_trip(name, tmp_path):
+    if name.endswith(".npz"):
+        pytest.importorskip("numpy")
+    net, traffic = _build_golden(NocKind.SMART)
+    traffic.run(200)
+    snap = snapshot_network(net, traffic)
+    path = str(tmp_path / name)
+    write_snapshot(snap, path)
+    assert read_snapshot(path) == _json_round_trip(snap)
+
+
+def test_reading_a_non_checkpoint_file_fails_loudly(tmp_path):
+    path = str(tmp_path / "nope.json")
+    with open(path, "w") as fh:
+        json.dump({"format": "something-else"}, fh)
+    with pytest.raises(ValueError, match="not a repro checkpoint"):
+        restore_network(read_snapshot(path))
+
+
+# -- the resumable evaluation grid -----------------------------------------
+
+
+def _tiny_scale():
+    from repro.harness.runner import EvaluationScale
+
+    return EvaluationScale("ckpt-test", warmup=50, measure=150, num_seeds=1)
+
+
+def test_grid_resumes_from_cell_store(tmp_path):
+    from repro.harness.runner import (
+        clear_grid_cache,
+        evaluation_grid,
+        grid_stats,
+    )
+
+    store = CellStore(str(tmp_path))
+    scale = _tiny_scale()
+    kinds = (NocKind.MESH, NocKind.IDEAL)
+    clear_grid_cache()
+    hits0 = grid_stats.grid_cache_hits
+    misses0 = grid_stats.grid_cache_misses
+
+    # "Interrupted" first sweep: only one of the two cells finishes.
+    evaluation_grid(("Web Search",), (NocKind.MESH,), scale, store=store)
+    assert grid_stats.grid_cache_misses - misses0 == 1
+    assert len(store) == 1
+
+    # The re-run covers the full grid: the finished cell is served from
+    # the store, only the missing one is recomputed.
+    clear_grid_cache()
+    grid = evaluation_grid(("Web Search",), kinds, scale, store=store)
+    assert grid_stats.grid_cache_hits - hits0 == 1
+    assert grid_stats.grid_cache_misses - misses0 == 2
+    assert len(store) == 2
+
+    # A third pass recomputes nothing at all.
+    clear_grid_cache()
+    resumed = evaluation_grid(("Web Search",), kinds, scale, store=store)
+    assert grid_stats.grid_cache_hits - hits0 == 3
+    assert grid_stats.grid_cache_misses - misses0 == 2
+    for key, sample in grid.items():
+        assert resumed[key].to_state() == sample.to_state()
+
+    # The counters are observable through the stats summary.
+    summary = grid_stats.summary()
+    assert summary["grid_cache_hits"] == grid_stats.grid_cache_hits
+    assert summary["grid_cache_misses"] == grid_stats.grid_cache_misses
+    clear_grid_cache()
+
+
+def test_grid_in_memory_key_includes_params_and_seeds():
+    """Same scale name, different seed list -> different cache entry."""
+    from repro.harness import runner
+
+    scale_a = runner.EvaluationScale("ckpt-key", warmup=40, measure=80,
+                                     num_seeds=1)
+    scale_b = runner.EvaluationScale("ckpt-key", warmup=40, measure=80,
+                                     num_seeds=2)
+    runner.clear_grid_cache()
+    grid_a = runner.evaluation_grid(("Web Search",), (NocKind.IDEAL,),
+                                    scale_a, store=None)
+    grid_b = runner.evaluation_grid(("Web Search",), (NocKind.IDEAL,),
+                                    scale_b, store=None)
+    key = ("Web Search", NocKind.IDEAL)
+    # Two seeds were merged in grid_b, so the cells must differ.
+    assert grid_b[key].cycles == 2 * grid_a[key].cycles
+    runner.clear_grid_cache()
+
+
+def test_corrupt_store_cell_reads_as_miss(tmp_path):
+    store = CellStore(str(tmp_path))
+    store.put("ab" * 32, {"sample": {"x": 1}})
+    path = store._path("ab" * 32)
+    with open(path, "w") as fh:
+        fh.write('{"sample": trunca')
+    assert store.get("ab" * 32) is None
+    assert ("ab" * 32) in store  # the file exists, but reads as a miss
+
+
+def test_perf_sample_state_round_trip():
+    sample = PerfSample(
+        workload="Web Search", noc_kind=NocKind.MESH_PRA,
+        instructions=1234, cycles=800, packets=77,
+        avg_network_latency=9.5, avg_transaction_latency=30.25,
+        control_packets=40, control_per_data=0.52,
+        lag_distribution={0: 0.5, 2: 0.5}, pra_blocked_fraction=0.01,
+        flits_delivered=300, total_hops=900, packets_unfinished=3,
+    )
+    clone = PerfSample.from_state(
+        json.loads(json.dumps(sample.to_state()))
+    )
+    assert clone == sample
+
+
+# -- the CLI driver --------------------------------------------------------
+
+
+def test_cli_checkpoint_restore_digest(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    args = ["simulate", "web", "--noc", "smart",
+            "--warmup", "80", "--measure", "120", "--digest"]
+    assert main(args) == 0
+    straight = capsys.readouterr().out
+
+    tpl = str(tmp_path / "ck-{cycle}.json")
+    assert main(args + ["--checkpoint-every", "50",
+                        "--checkpoint", tpl]) == 0
+    checkpointed = capsys.readouterr().out
+    assert "checkpoint: cycle 50" in checkpointed
+    assert "checkpoint: cycle 150" in checkpointed
+    # 200 is a multiple of 50 but is the run's end: strictly before.
+    assert "cycle 200" not in checkpointed
+
+    for cycle in (50, 150):  # mid-warmup and mid-measure
+        rc = main(["simulate", "--restore", str(tmp_path / f"ck-{cycle}.json"),
+                   "--warmup", "80", "--measure", "120", "--digest"])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert _digest_line(resumed) == _digest_line(straight)
+
+
+def _digest_line(out: str) -> str:
+    lines = [line for line in out.splitlines() if line.startswith("digest:")]
+    assert len(lines) == 1
+    return lines[0]

@@ -1,7 +1,5 @@
 """Behavioral tests for the control network: lag, drops, claims."""
 
-import pytest
-
 from repro.core.control_network import (
     DROP_CONTROL_CONFLICT,
     DROP_LAG_ZERO,
@@ -33,7 +31,7 @@ def announce_and_send(net, src, dst, ready_in=4):
 class TestLagArithmetic:
     def test_short_path_reaches_destination_with_lag_left(self):
         net = make_pra()
-        pkt = announce_and_send(net, src=0, dst=2)  # 2 hops
+        announce_and_send(net, src=0, dst=2)  # 2 hops
         net.drain(max_cycles=300)
         reasons = net.stats.control_drop_reasons
         assert reasons[DROP_REACHED_DESTINATION] == 1
@@ -43,7 +41,7 @@ class TestLagArithmetic:
 
     def test_long_path_exhausts_lag(self):
         net = make_pra()
-        pkt = announce_and_send(net, src=0, dst=63)  # 14 hops
+        announce_and_send(net, src=0, dst=63)  # 14 hops
         net.drain(max_cycles=300)
         assert net.stats.control_drop_reasons[DROP_LAG_ZERO] == 1
         assert net.stats.control_lag_at_drop[0] == 1

@@ -1,7 +1,5 @@
 """Tests for the address-accurate (detailed) simulation mode."""
 
-import pytest
-
 from repro.params import NocKind
 from repro.perf.system import SystemSimulator
 

@@ -30,7 +30,7 @@ def run_with_faults(kind, schedule, rate=0.04, cycles=400, seed=2,
     """Drive synthetic traffic under ``schedule``; return (net, injector)."""
     net = make_network(kind)
     injector = FaultInjector(schedule)
-    net.attach_faults(injector)
+    net.attach(faults=injector)
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, rate, seed=seed
     ).run(cycles)

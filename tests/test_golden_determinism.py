@@ -82,10 +82,10 @@ def _network_digest(kind: NocKind, observers: str = "none") -> str:
     """
     net = build_network(NocParams(kind=kind, mesh_width=8, mesh_height=8))
     if observers == "tracing":
-        net.attach_tracer(RingTracer(capacity=1 << 12))
-        net.attach_invariants(InvariantSuite())
+        net.attach(tracer=RingTracer(capacity=1 << 12))
+        net.attach(invariants=InvariantSuite())
     elif observers == "faults":
-        net.attach_faults(FaultInjector(FaultSchedule()))
+        net.attach(faults=FaultInjector(FaultSchedule()))
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, 0.02, seed=7
     ).run(800)

@@ -28,7 +28,7 @@ def drain(net, limit=4000):
 def test_clean_runs_have_zero_violations(kind):
     net = make_network(kind)
     suite = InvariantSuite(audit_period=1)
-    net.attach_invariants(suite)
+    net.attach(invariants=suite)
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, 0.05, seed=4
     ).run(300)
@@ -36,20 +36,20 @@ def test_clean_runs_have_zero_violations(kind):
     assert suite.violations == []
     assert suite.audits_run > 0
     assert not suite.watchdog_fired
-    net.detach_invariants()
+    net.attach(invariants=None)
     assert_quiescent(net)
 
 
 def test_clean_ring_run_has_zero_violations():
     net = build_ring(8)
     suite = InvariantSuite(audit_period=1)
-    net.attach_invariants(suite)
+    net.attach(invariants=suite)
     SyntheticTraffic(
         net, TrafficPattern.UNIFORM_RANDOM, 0.05, seed=4
     ).run(300)
     drain(net)
     assert suite.violations == []
-    net.detach_invariants()
+    net.attach(invariants=None)
     assert_quiescent(net)
 
 
@@ -60,7 +60,7 @@ def test_checkers_do_not_perturb_the_run(kind):
     def run(with_suite):
         net = make_network(kind)
         if with_suite:
-            net.attach_invariants(InvariantSuite(audit_period=1))
+            net.attach(invariants=InvariantSuite(audit_period=1))
         SyntheticTraffic(
             net, TrafficPattern.UNIFORM_RANDOM, 0.06, seed=9
         ).run(400)
@@ -79,12 +79,12 @@ def test_watchdog_reports_a_hung_network():
     advance, and the watchdog must turn that hang into a structured
     violation carrying the blocked-packet wait graph."""
     net = make_network(NocKind.MESH)
-    net.attach_faults(FaultInjector(FaultSchedule(router_stalls=tuple(
+    net.attach(faults=FaultInjector(FaultSchedule(router_stalls=tuple(
         StallWindow(node=n, start=0, duration=1 << 20) for n in range(16)
     ))))
     suite = InvariantSuite(audit_period=1 << 20, watchdog_window=64,
                            watchdog_stride=8)
-    net.attach_invariants(suite)
+    net.attach(invariants=suite)
     for node in range(4):
         net.send(Packet(src=node, dst=15 - node,
                         msg_class=MessageClass.REQUEST, created=0))
@@ -100,7 +100,7 @@ def test_watchdog_reports_a_hung_network():
 
 def test_wait_graph_snapshots_blocked_packets():
     net = make_network(NocKind.MESH)
-    net.attach_faults(FaultInjector(FaultSchedule(router_stalls=tuple(
+    net.attach(faults=FaultInjector(FaultSchedule(router_stalls=tuple(
         StallWindow(node=n, start=0, duration=1 << 20) for n in range(16)
     ))))
     net.send(Packet(src=0, dst=5, msg_class=MessageClass.REQUEST, created=0))

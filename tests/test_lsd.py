@@ -1,7 +1,5 @@
 """Focused tests for the Long Stall Detection unit."""
 
-import pytest
-
 from repro.noc.packet import Packet
 from repro.params import MessageClass, NocKind, NocParams, PraParams
 from repro.noc.network import build_network

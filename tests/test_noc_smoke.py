@@ -1,7 +1,5 @@
 """Smoke tests for the mesh substrate (developed alongside the code)."""
 
-import pytest
-
 from repro.noc.network import build_network
 from repro.noc.packet import Packet
 from repro.params import MessageClass, NocKind, NocParams

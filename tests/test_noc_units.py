@@ -4,9 +4,8 @@ import pytest
 
 from repro.noc.flit import Flit, FlitType
 from repro.noc.packet import Packet, reset_packet_ids
-from repro.noc.topology import Direction, MeshTopology
-from repro.noc.vc import InputUnit, VirtualChannel
-from repro.params import MessageClass, NocKind, NocParams
+from repro.noc.vc import VirtualChannel
+from repro.params import MessageClass, NocKind
 from tests.helpers import make_network
 
 
@@ -108,7 +107,6 @@ class TestVirtualChannel:
 class TestNetworkInterface:
     def test_round_robin_across_classes(self):
         net = make_network(NocKind.MESH)
-        ni = net.interfaces[0]
         a = Packet(src=0, dst=1, msg_class=MessageClass.REQUEST,
                    created=net.cycle)
         b = Packet(src=0, dst=1, msg_class=MessageClass.COHERENCE,

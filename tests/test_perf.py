@@ -4,7 +4,7 @@ import pytest
 
 from repro.params import NocKind
 from repro.perf.metrics import geomean, normalize_to
-from repro.perf.sampling import SampleStats, measure_with_confidence
+from repro.perf.sampling import measure_with_confidence
 from repro.perf.system import SystemSimulator, simulate
 from repro.workloads.profiles import CLOUDSUITE, WORKLOAD_NAMES, get_profile
 

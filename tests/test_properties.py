@@ -17,7 +17,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.noc.packet import Packet
-from repro.noc.routing import turn_node, xy_next_direction, xy_route
+from repro.noc.routing import turn_node, xy_route
 from repro.noc.topology import Direction, MeshTopology
 from repro.params import MessageClass, NocKind
 from tests.helpers import assert_quiescent, make_network

@@ -1,6 +1,6 @@
 """Tests for table and bar-chart rendering."""
 
-from repro.harness.reporting import format_table, render_bars, render_figure
+from repro.harness.reporting import render_bars, render_figure
 
 
 def _result():

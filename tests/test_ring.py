@@ -2,10 +2,8 @@
 
 import random
 
-import pytest
-
 from repro.noc.packet import Packet
-from repro.noc.ring import build_ring, CLOCKWISE, COUNTER_CLOCKWISE
+from repro.noc.ring import build_ring
 from repro.params import MessageClass
 
 
@@ -90,8 +88,6 @@ class TestRingScaling:
     def test_latency_scales_linearly_with_stops(self):
         """The paper's Section II-B claim: ring delay grows linearly
         with the number of interconnected components."""
-        import statistics
-
         latencies = {}
         hops = {}
         for stops in (8, 16, 32):

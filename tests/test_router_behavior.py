@@ -3,7 +3,6 @@
 import pytest
 
 from repro.noc.packet import Packet
-from repro.noc.routing import xy_next_direction
 from repro.noc.topology import Direction
 from repro.params import MessageClass, NocKind
 from tests.helpers import assert_quiescent, make_network

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.noc.network import build_network
 from repro.noc.packet import Packet
 from repro.params import MessageClass, NocKind, NocParams

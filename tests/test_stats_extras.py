@@ -4,9 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.noc.packet import Packet
 from repro.noc.stats import NetworkStats, _percentile
-from repro.params import MessageClass, NocKind
+from repro.params import NocKind
 from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
 from tests.helpers import make_network
 

@@ -8,7 +8,6 @@ from repro.params import (
     ChipParams,
     MessageClass,
     NocKind,
-    NocParams,
     PACKET_FLITS,
     default_chip,
 )

@@ -7,7 +7,7 @@ import pytest
 from repro.noc.packet import Packet
 from repro.noc.ring import build_ring
 from repro.params import MessageClass, NocKind
-from repro.perf.system import SystemSimulator, simulate
+from repro.perf.system import simulate
 from tests.helpers import assert_quiescent, make_network
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.params import ChipParams, MessageClass, NocKind, default_chip
+from repro.params import NocKind, default_chip
 from repro.tile.address import block_of, home_slice, memory_channel, BLOCK_BYTES
 from repro.tile.cache import SetAssociativeCache
 from repro.tile.chip import Chip
@@ -97,8 +97,8 @@ class TestMemoryChannel:
             events.append((time, fn, args))
 
         ch = MemoryChannel(0, MemoryParams(), scheduler)
-        done1 = ch.access(10, lambda t: None)
-        done2 = ch.access(10, lambda t: None)
+        done1 = ch.access(10, lambda: None)
+        done2 = ch.access(10, lambda: None)
         assert done1 == 11 + MemoryParams().access_cycles
         # Second access waits for the channel service interval.
         assert done2 == done1 + MemoryParams().service_cycles

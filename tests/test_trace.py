@@ -33,7 +33,7 @@ def traced_pra_run(src=0, dst=4, ready_in=4, **tracer_kwargs):
     """One announced response crossing a PRA mesh under tracing."""
     net = make_network(NocKind.MESH_PRA, width=8, height=8)
     tracer = RingTracer(**tracer_kwargs)
-    net.attach_tracer(tracer)
+    net.attach(tracer=tracer)
     pkt = Packet(src=src, dst=dst, msg_class=MessageClass.RESPONSE,
                  created=net.cycle)
     net.announce(pkt, ready_in=ready_in)
@@ -118,16 +118,16 @@ class TestNullTracer:
     def test_attach_detach(self):
         net = make_network(NocKind.MESH)
         tracer = RingTracer()
-        net.attach_tracer(tracer)
+        net.attach(tracer=tracer)
         assert net.tracer is tracer
-        net.detach_tracer()
+        net.attach(tracer=None)
         assert net.tracer is NULL_TRACER
 
     def test_tracing_does_not_change_outcomes(self):
         def run(traced):
             net = make_network(NocKind.MESH_PRA, width=4, height=4)
             if traced:
-                net.attach_tracer(RingTracer())
+                net.attach(tracer=RingTracer())
             pkts = [
                 Packet(src=s, dst=(s + 5) % 16,
                        msg_class=MessageClass.RESPONSE, created=0)
@@ -187,7 +187,7 @@ class TestPlannedTimeline:
     def test_unplanned_packet_timeline(self):
         net = make_network(NocKind.MESH)
         tracer = RingTracer()
-        net.attach_tracer(tracer)
+        net.attach(tracer=tracer)
         pkt = Packet(src=0, dst=3, msg_class=MessageClass.REQUEST, created=0)
         net.send(pkt)
         net.drain(max_cycles=200)

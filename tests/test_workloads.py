@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.noc.network import build_network
-from repro.params import MessageClass, NocKind, NocParams
+from repro.params import NocKind, NocParams
 from repro.tile.address import BLOCK_BYTES
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
