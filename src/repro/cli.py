@@ -93,6 +93,14 @@ def _parse_mesh(text: str):
     return width, height
 
 
+def _add_time_skip_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-time-skip", action="store_true",
+                   help="disable event-horizon time skipping and step "
+                        "every cycle (results are bit-identical either "
+                        "way; this is a debugging escape hatch, also "
+                        "available as REPRO_NO_TIME_SKIP=1)")
+
+
 def _apply_cell_store(args: argparse.Namespace) -> None:
     """``--cell-store PATH`` persists finished evaluation-grid cells
     there (equivalent to setting ``REPRO_CELL_STORE``), so an
@@ -448,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="also dump JSON here")
     p.add_argument("--bars", action="store_true",
                    help="render ASCII bar charts instead of tables")
+    _add_time_skip_flag(p)
     p.add_argument("--cell-store", default=None, metavar="PATH",
                    help="persist finished evaluation-grid cells under "
                         "PATH (sets REPRO_CELL_STORE) so interrupted "
@@ -480,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--digest", action="store_true",
                    help="print the run's golden-determinism sha256 "
                         "digest (restored runs must match straight runs)")
+    _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -501,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL output path (default: trace.jsonl)")
     p.add_argument("--capacity", type=int, default=1 << 17,
                    help="ring-buffer bound on captured events")
+    _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("sweep", help="synthetic load-latency sweep")
@@ -513,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="WxH", help="mesh dimensions (default 8x8)")
     p.add_argument("--vcs", type=int, default=None,
                    help="virtual channels per port (default: per class)")
+    _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -535,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-schedule seed")
     p.add_argument("--intensity", type=float, default=1.0,
                    help="fault-schedule intensity multiplier")
+    _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -563,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist finished evaluation-grid cells under "
                         "PATH (sets REPRO_CELL_STORE); the macro report "
                         "records how many cells came from the store")
+    _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("area", help="Figure 8 area model")
@@ -580,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_time_skip", False):
+        from repro.noc.network import set_time_skip
+
+        # Flip the process-wide default before any network is built;
+        # REPRO_JOBS worker pools inherit it via their initializer.
+        set_time_skip(False)
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. piped into `head`

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.checkpoint.codec import CODE_VERSION
 from repro.checkpoint.snapshot import params_state
-from repro.checkpoint.store import cell_key, default_store
+from repro.checkpoint.store import STORE_ENV, cell_key, default_store
 from repro.noc.stats import NetworkStats
 from repro.params import NocKind, default_chip
 from repro.perf.system import PerfSample, simulate
@@ -119,11 +119,47 @@ def _wall_limit() -> Optional[float]:
     return limit if limit > 0 else None
 
 
+#: Wall-clock budget installed by :func:`_init_worker`.  ``_UNSET`` in
+#: the parent process, where ``_simulate_cell`` reads the env directly.
+_worker_wall_limit = _UNSET
+
+
+def _worker_settings() -> tuple:
+    """Snapshot of the knobs a worker needs, captured once in the
+    parent.  Spawn-start workers re-import everything in a fresh
+    process, so env-derived state the parent changed after import
+    (``set_time_skip``, ``--cell-store``) would otherwise be lost —
+    and fork-start workers would re-read the environment per cell."""
+    from repro.noc.network import time_skip_enabled
+
+    return (time_skip_enabled(), os.environ.get(STORE_ENV), _wall_limit())
+
+
+def _init_worker(time_skip: bool, store_path: Optional[str],
+                 wall_limit: Optional[float]) -> None:
+    """Pool initializer: apply the parent's settings once per worker."""
+    from repro.noc.network import set_time_skip
+
+    set_time_skip(time_skip)
+    if store_path is None:
+        os.environ.pop(STORE_ENV, None)
+    else:
+        os.environ[STORE_ENV] = store_path
+    global _worker_wall_limit
+    _worker_wall_limit = wall_limit
+
+
+def _cell_wall_limit() -> Optional[float]:
+    if _worker_wall_limit is _UNSET:
+        return _wall_limit()
+    return _worker_wall_limit
+
+
 def _simulate_cell(cell: Cell) -> PerfSample:
     """Worker entry point (top-level so it pickles for multiprocessing)."""
     workload, kind, warmup, measure, seed = cell
     sample = simulate(workload, kind, warmup=warmup, measure=measure,
-                      seed=seed, wall_limit=_wall_limit())
+                      seed=seed, wall_limit=_cell_wall_limit())
     if sample.timed_out:
         print(
             f"warning: {workload}/{kind.value} seed {seed} hit the "
@@ -169,7 +205,9 @@ def _run_cells(cells: List[Cell], pending: List[int],
         # tail-latency cost of a slow chunk landing on one worker.
         workers = min(jobs, len(pending))
         chunksize = max(1, len(pending) // (workers * 4))
-        with multiprocessing.Pool(workers) as pool:
+        with multiprocessing.Pool(
+            workers, initializer=_init_worker, initargs=_worker_settings()
+        ) as pool:
             for index, sample in pool.imap_unordered(
                 _simulate_indexed, [(i, cells[i]) for i in pending],
                 chunksize=chunksize,

@@ -14,15 +14,26 @@ because an idle component's ``step`` is a no-op by construction — the
 wake sets only elide calls that would have returned immediately — so
 simulation results are bit-identical to exhaustive stepping (enforced
 by ``tests/test_golden_determinism.py``).
+
+On top of the wake sets sits the *event horizon*: when both wake queues
+are empty, nothing can happen before the earliest scheduled event, so
+:meth:`Network.run` and :meth:`Network.drain` fast-forward the clock to
+``next_event_cycle()`` instead of stepping through provably idle
+cycles.  Skipped spans replay their invariant-checker boundaries
+exactly (:meth:`repro.invariants.checkers.InvariantSuite.on_skip`), so
+results stay bit-identical with skipping on or off.  Disable with
+``set_time_skip(False)``, the ``--no-time-skip`` CLI flag, or the
+``REPRO_NO_TIME_SKIP`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.faults.injector import NULL_FAULTS
 from repro.noc.stats import NetworkStats
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, packet_pool
 from repro.noc.topology import Direction, MeshTopology
 from repro.params import NocKind, NocParams
 from repro.trace.tracer import NULL_TRACER
@@ -39,6 +50,22 @@ _CALL = 3
 #: Sentinel for :meth:`Network.attach` keywords that were not passed
 #: (``None`` already means "detach", so absence needs its own marker).
 _KEEP = object()
+
+#: Process-wide default for event-horizon time skipping.  Networks
+#: capture it at construction (``net.time_skip``), so flip it before
+#: building a network (the CLI and the worker-pool initializer do).
+_time_skip_default = not os.environ.get("REPRO_NO_TIME_SKIP")
+
+
+def set_time_skip(enabled: bool) -> None:
+    """Set the process-wide time-skipping default for new networks."""
+    global _time_skip_default
+    _time_skip_default = bool(enabled)
+
+
+def time_skip_enabled() -> bool:
+    """The current process-wide time-skipping default."""
+    return _time_skip_default
 
 
 class Network:
@@ -71,6 +98,11 @@ class Network:
         self.faults = NULL_FAULTS
         #: Attached :class:`repro.invariants.InvariantSuite`, or None.
         self.invariants = None
+        #: Event-horizon time skipping (see module docstring); captured
+        #: from the process default so a driver can opt out per network.
+        self.time_skip = _time_skip_default
+        #: Idle cycles fast-forwarded instead of stepped.
+        self.cycles_skipped = 0
 
     # -- observers (tracer, fault injector, invariant suite) ---------------
 
@@ -189,16 +221,78 @@ class Network:
                     _, fn, args = event
                     fn(*args)
 
+    # -- the event horizon -------------------------------------------------
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle at which any work can happen.
+
+        Returns ``self.cycle`` while a component is awake (something may
+        act this cycle), the earliest scheduled event bucket otherwise,
+        or ``None`` when the network is fully quiescent.  A cycle
+        strictly between ``self.cycle`` and this horizon is provably a
+        no-op: no events fire, no component steps.
+        """
+        if self._ni_queue or self._router_queue:
+            return self.cycle
+        events = self._events
+        if not events:
+            return None
+        return min(events)
+
+    def _skip_to(self, target: int) -> None:
+        """Fast-forward the clock across a span the caller proved idle
+        (``next_event_cycle()`` past ``target`` or absent).
+
+        The invariant suite replays its watchdog/audit boundaries over
+        the span first, so ``audits_run``, progress bookkeeping, and any
+        violations land exactly as if every cycle had been stepped.
+        """
+        start = self.cycle
+        if self.invariants is not None:
+            try:
+                self.invariants.on_skip(self, start, target)
+            except RuntimeError as exc:
+                # A violation fired mid-span: land the clock where a
+                # stepped run would have raised it.
+                cycle = getattr(exc, "cycle", None)
+                if cycle is not None and start <= cycle < target:
+                    self.cycles_skipped += cycle - start
+                    self.cycle = cycle
+                raise
+        self.cycles_skipped += target - start
+        self.cycle = target
+        self._post_skip(start, target)
+
+    def _post_skip(self, start: int, end: int) -> None:
+        """Subclass hook after a skip over ``[start, end)``: replicate
+        whatever per-cycle housekeeping a stepped run would have done
+        (the control network purges its media-claim buckets here)."""
+
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.step()
+        end = self.cycle + cycles
+        step = self.step
+        if not self.time_skip:
+            for _ in range(cycles):
+                step()
+            return
+        while self.cycle < end:
+            horizon = self.next_event_cycle()
+            if horizon is None or horizon > end:
+                horizon = end
+            if horizon > self.cycle:
+                self._skip_to(horizon)
+            else:
+                step()
 
     def drain(self, max_cycles: int = 1_000_000, check_every: int = 64) -> None:
         """Run until every injected packet has been delivered.
 
-        The deadline comparison is only evaluated every ``check_every``
-        cycles; the in-flight count is still checked after every step so
-        the network stops on exactly the delivery cycle.
+        With time skipping on, idle spans fast-forward to the next
+        event, so the drain finishes at exactly the quiescent cycle and
+        a drain that cannot finish hits its deadline without spinning.
+        Without it, the deadline comparison is only evaluated every
+        ``check_every`` cycles; the in-flight count is still checked
+        after every step so the network stops on the delivery cycle.
         """
         deadline = self.cycle + max_cycles
         stats = self.stats
@@ -210,10 +304,24 @@ class Network:
                     f"packets in flight after {max_cycles} cycles"
                     f"{self._drain_hint()}"
                 )
-            for _ in range(min(check_every, deadline - self.cycle)):
+            if self.time_skip:
+                horizon = self.next_event_cycle()
+                if horizon is None:
+                    # In flight with nothing scheduled and nobody awake:
+                    # deadlocked.  Burn the remaining budget in one jump
+                    # so the watchdog (if attached) and the deadline
+                    # fire exactly as a stepped run would.
+                    self._skip_to(deadline)
+                    continue
+                if horizon > self.cycle:
+                    self._skip_to(min(horizon, deadline))
+                    continue
                 step()
-                if stats.in_flight == 0:
-                    break
+            else:
+                for _ in range(min(check_every, deadline - self.cycle)):
+                    step()
+                    if stats.in_flight == 0:
+                        break
 
     def _drain_hint(self) -> str:
         """Wait-graph summary appended to the drain-failure message."""
@@ -285,6 +393,13 @@ class Network:
         self.stats.record_ejection(packet)
         if self._delivery_handler is not None:
             self._delivery_handler(packet, now)
+        # Recycle pool-born packets once delivery is fully settled.  A
+        # surviving plan reference (partial PRA execution, in-flight
+        # control run) keeps the object out of the pool: late plan
+        # cleanup still holds it.
+        if packet.pooled and packet.pra_plan is None \
+                and not packet.pra_pending:
+            packet_pool.release(packet)
 
     def _head_arrived(self, packet: Packet, now: int) -> None:
         if self._head_handler is not None:
@@ -325,6 +440,7 @@ class Network:
         exact append order — same-cycle events run in insertion order."""
         return {
             "cycle": self.cycle,
+            "cycles_skipped": self.cycles_skipped,
             "stats": self.stats.state_dict(),
             "ni_queue": sorted(self._ni_queue),
             "router_queue": sorted(self._router_queue),
@@ -338,6 +454,9 @@ class Network:
 
     def load_state(self, state: dict, ctx) -> None:
         self.cycle = state["cycle"]
+        # Tolerated as absent: snapshots written before the event
+        # horizon existed carry no skip counter.
+        self.cycles_skipped = state.get("cycles_skipped", 0)
         self.stats.load_state(state["stats"])
         num_nodes = self.topology.num_nodes
         self._ni_awake = [False] * num_nodes

@@ -135,7 +135,7 @@ class NetworkStats:
             return 0.0
         return self.pra_blocked_cycles / total_time
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self, include_pools: bool = False) -> Dict[str, float]:
         out = {
             "packets_injected": self.packets_injected,
             "packets_ejected": self.packets_ejected,
@@ -151,6 +151,13 @@ class NetworkStats:
         if self.grid_cache_hits or self.grid_cache_misses:
             out["grid_cache_hits"] = self.grid_cache_hits
             out["grid_cache_misses"] = self.grid_cache_misses
+        # Allocator counters are process-wide (not per network) and vary
+        # with unrelated runs in the same process, so they are opt-in to
+        # keep the default key set digest-stable.
+        if include_pools:
+            from repro.noc.packet import pool_summary
+
+            out.update(pool_summary())
         return out
 
     # -- checkpointing ---------------------------------------------------

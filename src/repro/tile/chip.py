@@ -18,7 +18,7 @@ import random
 from typing import Callable, List, Optional
 
 from repro.noc.network import Network, build_network
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, packet_pool
 from repro.params import ChipParams, MessageClass
 from repro.tile.address import home_slice, memory_channel
 from repro.tile.cache import SetAssociativeCache
@@ -97,10 +97,10 @@ class Chip:
                 self.cycle + LOCAL_ACCESS_OVERHEAD,
             )
             return
-        request = Packet(
-            src=txn.core_node,
-            dst=txn.home,
-            msg_class=MessageClass.REQUEST,
+        request = packet_pool.acquire(
+            txn.core_node,
+            txn.home,
+            MessageClass.REQUEST,
             created=self.cycle,
             payload=txn,
         )
@@ -147,10 +147,10 @@ class Chip:
     def send_coherence(self, src: int, dst: int) -> None:
         self.coherence_sent += 1
         self.network.send(
-            Packet(
-                src=src,
-                dst=dst,
-                msg_class=MessageClass.COHERENCE,
+            packet_pool.acquire(
+                src,
+                dst,
+                MessageClass.COHERENCE,
                 created=self.cycle,
             )
         )

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, packet_pool
 from repro.params import MessageClass
 from repro.tile.address import block_of
 from repro.tile.cache import SetAssociativeCache
@@ -156,10 +156,10 @@ class LlcSlice:
                 now + data_cycles, self.chip.complete_local, txn
             )
             return
-        response = Packet(
-            src=self.node,
-            dst=txn.core_node,
-            msg_class=MessageClass.RESPONSE,
+        response = packet_pool.acquire(
+            self.node,
+            txn.core_node,
+            MessageClass.RESPONSE,
             created=self.chip.network.cycle,
             payload=txn,
         )

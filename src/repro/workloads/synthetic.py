@@ -12,7 +12,7 @@ from enum import Enum
 from typing import List, Optional
 
 from repro.noc.network import Network
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, packet_pool
 from repro.params import MessageClass
 
 
@@ -70,8 +70,8 @@ class SyntheticTraffic:
                 if self.pattern is TrafficPattern.REQUEST_REPLY
                 else self._random_class()
             )
-            pkt = Packet(src=node, dst=dst, msg_class=msg_class,
-                         created=self.network.cycle)
+            pkt = packet_pool.acquire(node, dst, msg_class,
+                                      created=self.network.cycle)
             self.network.send(pkt)
             self.offered += 1
         self.network.step()
@@ -113,10 +113,10 @@ class SyntheticTraffic:
     def _maybe_reply(self, packet: Packet, now: int) -> None:
         if packet.msg_class is not MessageClass.REQUEST:
             return
-        reply = Packet(
-            src=packet.dst,
-            dst=packet.src,
-            msg_class=MessageClass.RESPONSE,
+        reply = packet_pool.acquire(
+            packet.dst,
+            packet.src,
+            MessageClass.RESPONSE,
             size=self.response_size,
             created=now,
         )

@@ -40,11 +40,23 @@ def test_run_bench_produces_complete_report(tmp_path):
     report = run_bench(TINY, repeat=1, include_macro=False)
     assert report["schema"] == SCHEMA_VERSION
     assert report["scale"] == "tiny"
-    assert set(report["micro"]) == {k.value for k in ALL_KINDS}
-    for cell in report["micro"].values():
+    orgs = {k.value for k in ALL_KINDS}
+    assert set(report["micro"]) == orgs | {f"{org}@low" for org in orgs}
+    for org in orgs:
+        cell = report["micro"][org]
         assert cell["cycles"] == TINY.warmup + TINY.measure
         assert cell["wall_s"] > 0
         assert cell["cycles_per_sec"] > 0
+        assert cell["cycles_skipped"] >= 0
+    for org in orgs:
+        cell = report["micro"][f"{org}@low"]
+        assert cell["wall_s"] > 0
+        assert cell["cycles_per_sec"] > 0
+        # The ping-pong scenario is mostly idle: the horizon must have
+        # fast-forwarded real spans, and the digest pins the results.
+        assert cell["cycles_skipped"] > 0
+        assert len(cell["digest"]) == 64
+    assert report["pools"]["packets_acquired"] > 0
     assert report["machine"]["calibration_mips"] > 0
     path = write_report(report, out=str(tmp_path / "BENCH_test.json"))
     assert json.loads(open(path).read()) == report
