@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.harness.runner import (
     ALL_KINDS,
     EvaluationScale,
+    _num_jobs,
     clear_grid_cache,
     evaluation_grid,
     get_scale,
@@ -150,7 +151,32 @@ def _time_low_cell(kind: NocKind) -> dict:
     }
 
 
-def run_micro(scale: EvaluationScale, repeat: int = 2) -> Dict[str, dict]:
+def _time_shard_cell(shards: int) -> dict:
+    """One run of the pinned sharded scenario (``SHARD_BENCH_SPEC``).
+
+    The recorded digest is the correctness half of the win-meter: every
+    shard count of the same spec must produce the same digest, so CI can
+    rerun the suite with ``--shards 2`` and assert the ``@shard`` cells
+    hash identically to the committed serial baselines.
+    """
+    from repro.shard import SHARD_BENCH_SPEC, run_sharded
+
+    backend = "process" if shards > 1 else "inline"
+    start = time.perf_counter()
+    result = run_sharded(SHARD_BENCH_SPEC, shards, backend=backend)
+    wall = time.perf_counter() - start
+    return {
+        "cycles": result.cycles,
+        "wall_s": wall,
+        "cycles_skipped": result.cycles_skipped,
+        "digest": result.digest,
+        "shards": result.shards,
+        "backend": result.backend,
+    }
+
+
+def run_micro(scale: EvaluationScale, repeat: int = 2,
+              shards: int = 1) -> Dict[str, dict]:
     """Best-of-``repeat`` cycles/second for each organization.
 
     Two cells per organization: the pinned full-system run (keyed by the
@@ -158,6 +184,11 @@ def run_micro(scale: EvaluationScale, repeat: int = 2) -> Dict[str, dict]:
     low-injection ping-pong scenario (keyed ``<org>@low``).
     ``compare_reports`` skips keys absent from either side, so reports
     predating the ``@low`` cells remain comparable.
+
+    A ``mesh@shard1`` cell times the pinned sharded scenario serially;
+    with ``shards > 1`` a ``mesh@shard<n>`` cell reruns it cut into that
+    many row stripes on the worker-process backend, so the pair measures
+    the sharding win (and the matching digests prove it changed nothing).
     """
     results: Dict[str, dict] = {}
     for kind in ALL_KINDS:
@@ -182,6 +213,16 @@ def run_micro(scale: EvaluationScale, repeat: int = 2) -> Dict[str, dict]:
         best["cycles_per_sec"] = round(best["cycles"] / best["wall_s"], 1)
         best["wall_s"] = round(best["wall_s"], 4)
         results[f"{kind.value}@low"] = best
+    shard_counts = [1] if shards <= 1 else [1, shards]
+    for count in shard_counts:
+        best = None
+        for _ in range(max(1, repeat)):
+            cell = _time_shard_cell(count)
+            if best is None or cell["wall_s"] < best["wall_s"]:
+                best = cell
+        best["cycles_per_sec"] = round(best["cycles"] / best["wall_s"], 1)
+        best["wall_s"] = round(best["wall_s"], 4)
+        results[f"mesh@shard{count}"] = best
     return results
 
 
@@ -219,7 +260,11 @@ def run_macro(scale: EvaluationScale) -> Dict[str, object]:
     return {
         "cells": len(grid),
         "wall_s": round(wall, 3),
-        "jobs": os.environ.get("REPRO_JOBS", "1"),
+        # The *resolved* worker count, not the raw environment string:
+        # "REPRO_JOBS=0" means one worker per CPU, and recording "0"
+        # made such reports unreadable (and unvalidated junk like
+        # "REPRO_JOBS=banana" used to land in reports verbatim).
+        "jobs": _num_jobs(),
         "store_hits": grid_stats.grid_cache_hits - hits0,
         "store_misses": grid_stats.grid_cache_misses - misses0,
     }
@@ -232,6 +277,7 @@ def run_bench(
     scale: Optional[EvaluationScale] = None,
     repeat: int = 2,
     include_macro: bool = True,
+    shards: int = 1,
 ) -> Dict[str, object]:
     scale = scale or get_scale()
     start = time.perf_counter()
@@ -240,8 +286,9 @@ def run_bench(
         "stamp": time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()),
         "git_rev": git_rev(),
         "scale": scale.name,
+        "shards": shards,
         "machine": machine_info(),
-        "micro": run_micro(scale, repeat=repeat),
+        "micro": run_micro(scale, repeat=repeat, shards=shards),
     }
     # Process-wide allocator counters as of the end of the micro suite
     # (reuse ratios near 1.0 mean the free lists are doing their job).

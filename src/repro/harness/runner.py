@@ -150,6 +150,19 @@ def _init_worker(time_skip: bool, store_path: Optional[str],
 
 
 def _cell_wall_limit() -> Optional[float]:
+    """Effective per-cell wall-clock budget.
+
+    Workers receive the parent's budget through :func:`_init_worker`.
+    A process that never ran the initializer (the parent itself, or a
+    worker created outside :func:`_run_cells` — e.g. a nested pool or a
+    spawn-start context that skipped the initargs) still sees
+    ``_UNSET`` and falls back to reading ``REPRO_WALL_LIMIT`` from its
+    own environment.  That fallback is deliberate and observable: a
+    ``--wall-limit`` value installed only via the initializer is NOT
+    recovered here, which is why every pool in this repository passes
+    ``initializer=_init_worker`` explicitly (covered by
+    ``tests/test_worker_plumbing.py``).
+    """
     if _worker_wall_limit is _UNSET:
         return _wall_limit()
     return _worker_wall_limit
@@ -170,19 +183,40 @@ def _simulate_cell(cell: Cell) -> PerfSample:
     return sample
 
 
+def parse_worker_count(raw: str, source: str) -> int:
+    """Validate a worker/shard count the way ``NocParams`` validates CLI
+    input: a clear :class:`ValueError` naming the knob instead of a raw
+    traceback from deep inside pool setup.
+
+    ``0`` means "one per CPU"; any positive integer is taken literally.
+    Shared by ``REPRO_JOBS``, ``REPRO_SHARDS``, and ``--shards``.
+    """
+    try:
+        count = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a non-negative integer "
+            f"(0 = one per CPU), got {raw!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(
+            f"{source} must be a non-negative integer "
+            f"(0 = one per CPU), got {raw!r}"
+        )
+    if count == 0:
+        return os.cpu_count() or 1
+    return count
+
+
 def _num_jobs() -> int:
     """Worker-process count from REPRO_JOBS.
 
     ``1`` (the default) runs in-process, ``0`` means one worker per
-    CPU, anything else is taken literally.
+    CPU, anything else is taken literally.  Invalid values raise a
+    :class:`ValueError` that the CLI turns into a clean exit 2.
     """
-    try:
-        jobs = int(os.environ.get("REPRO_JOBS", "1"))
-    except ValueError:
-        return 1
-    if jobs == 0:
-        return os.cpu_count() or 1
-    return max(1, jobs)
+    return parse_worker_count(os.environ.get("REPRO_JOBS", "1"),
+                              "REPRO_JOBS")
 
 
 def _simulate_indexed(item: Tuple[int, Cell]):

@@ -31,6 +31,26 @@ from repro.noc.network import _ARRIVAL, _CREDIT, _EJECT
 _DETAIL_CAP = 64
 
 
+def _shard_scope(net):
+    """``(routers, interfaces, live)`` for the part of ``net`` these
+    checks may reason about.
+
+    A sharded run (:mod:`repro.shard`) steps only the rows its
+    ``net.shard_view`` owns; rows adjacent to the stripe are passive
+    replicas whose buffers mirror another shard's real state with a
+    bounded timing skew, so audits must not treat them as local truth.
+    ``live`` is the packet count physically inside the scope: plain
+    ``stats.in_flight`` serially, the shard's resident count (local
+    in-flight plus crossings in minus crossings out) when sharded.
+    """
+    view = getattr(net, "shard_view", None)
+    if view is None:
+        return net.routers, net.interfaces, net.stats.in_flight
+    return (net.routers[view.first:view.last + 1],
+            net.interfaces[view.first:view.last + 1],
+            view.resident)
+
+
 class InvariantViolation(RuntimeError):
     """A broken simulator invariant, with a cycle-accurate report."""
 
@@ -64,9 +84,10 @@ def wait_graph(net, now: int) -> Dict[str, Any]:
     the downstream VC it needs.  Cycles in this graph are deadlocks;
     an edge-free stall is a livelock or a starved resource.
     """
+    routers, interfaces, _ = _shard_scope(net)
     blocked: List[Dict[str, Any]] = []
     edges: List[Tuple[int, int, str]] = []
-    for router in net.routers:
+    for router in routers:
         for unit in router.input_units.values():
             for vc in unit.vcs:
                 front = vc.front()
@@ -106,7 +127,7 @@ def wait_graph(net, now: int) -> Dict[str, Any]:
                     "where": f"router {router.node} latch {direction.name}",
                     "reason": "latched",
                 })
-    for ni in net.interfaces:
+    for ni in interfaces:
         port = getattr(ni, "port", None)
         for queue in getattr(ni, "queues", ()):
             if not queue:
@@ -219,7 +240,7 @@ class InvariantSuite:
         period = self.audit_period
         wd = start + (-start) % stride
         audit = start + (-start) % period
-        in_flight = net.stats.in_flight
+        _, _, in_flight = _shard_scope(net)
         sig = self._progress_signature(net) if in_flight else None
         audit_clean: Optional[bool] = None
         while True:
@@ -251,7 +272,8 @@ class InvariantSuite:
     # -- the watchdog -----------------------------------------------------
 
     def _check_progress(self, net, now: int) -> None:
-        if net.stats.in_flight == 0:
+        _, _, live = _shard_scope(net)
+        if live == 0:
             self._last_signature = None
             self._last_progress_cycle = now
             return
@@ -267,9 +289,9 @@ class InvariantSuite:
             self._fail(
                 "watchdog", now,
                 f"no flit progress for {self.watchdog_window}+ cycles "
-                f"with {net.stats.in_flight} packets in flight",
+                f"with {live} packets in flight",
                 {
-                    "in_flight": net.stats.in_flight,
+                    "in_flight": live,
                     "stalled_since": now - self.watchdog_window,
                     "blocked": graph["blocked"],
                     "edges": graph["edges"],
@@ -298,11 +320,12 @@ class InvariantSuite:
         self.audits_run += 1
         if not net.routers:
             return  # the ideal network has no flit-level state to audit
+        scope = _shard_scope(net)
         pending = self._pending_events(net)
-        self._audit_structure(net, now)
-        self._audit_conservation(net, now, pending)
-        self._audit_credits(net, now, pending)
-        self._audit_reservations(net, now)
+        self._audit_structure(net, now, scope)
+        self._audit_conservation(net, now, pending, scope)
+        self._audit_credits(net, now, pending, scope)
+        self._audit_reservations(net, now, scope)
 
     @staticmethod
     def _pending_events(net) -> Dict[str, Any]:
@@ -324,9 +347,10 @@ class InvariantSuite:
                     credits[key] = credits.get(key, 0) + 1
         return {"arrivals": arrivals, "ejects": ejects, "credits": credits}
 
-    def _audit_structure(self, net, now: int) -> None:
+    def _audit_structure(self, net, now: int, scope) -> None:
         """Per-router flit counters and VC occupancy sanity."""
-        for router in net.routers:
+        routers, _, _ = scope
+        for router in routers:
             count = 0
             for unit in router.input_units.values():
                 for vc in unit.vcs:
@@ -356,8 +380,10 @@ class InvariantSuite:
                     f" but {count} flits buffered",
                 )
 
-    def _audit_conservation(self, net, now: int, pending) -> None:
+    def _audit_conservation(self, net, now: int, pending, scope) -> None:
         """Every in-flight packet is findable; no flit exists twice."""
+        routers, interfaces, live = scope
+        view = getattr(net, "shard_view", None)
         found: Dict[int, str] = {}
         flit_ids: Dict[int, str] = {}
 
@@ -372,7 +398,7 @@ class InvariantSuite:
             flit_ids[key] = where
             found.setdefault(flit.packet.pid, where)
 
-        for router in net.routers:
+        for router in routers:
             for unit in router.input_units.values():
                 for vc in unit.vcs:
                     for flit in vc.flits:
@@ -380,15 +406,20 @@ class InvariantSuite:
             for latch in getattr(router, "_latches", {}).values():
                 for flit in latch:
                     see_flit(flit, f"router {router.node} latch")
-        for ni in net.interfaces:
+        for ni in interfaces:
             for queue in ni.queues:
                 for pkt in queue:
                     found.setdefault(pkt.pid, f"NI {ni.node} queue")
         for router, _, _, flit in pending["arrivals"]:
+            # Sharded runs keep a local copy of cross-boundary sends so
+            # the sender's replica buffers fill; those flits are the
+            # receiving shard's to account for.
+            if view is not None and not view.owns(router.node):
+                continue
             see_flit(flit, f"in flight to router {router.node}")
         for flit in pending["ejects"]:
             see_flit(flit, "in flight to NI")
-        expected = net.stats.in_flight
+        expected = live
         if len(found) != expected:
             self._fail(
                 "flit_conservation", now,
@@ -398,8 +429,9 @@ class InvariantSuite:
                            for pid, where in sorted(found.items())]},
             )
 
-    def _audit_credits(self, net, now: int, pending) -> None:
+    def _audit_credits(self, net, now: int, pending, scope) -> None:
         """credits + claims + occupancy + in-flight + returns == depth."""
+        routers, interfaces, _ = scope
         in_flight: Dict[Tuple[int, int], int] = {}
         for router, direction, vc_index, _flit in pending["arrivals"]:
             if vc_index < 0:
@@ -437,20 +469,21 @@ class InvariantSuite:
                         f"!= depth {vc.capacity}",
                     )
 
-        for router in net.routers:
+        for router in routers:
             for port in router.output_ports.values():
                 check_port(
                     port,
                     f"router {router.node} port {port.direction.name}",
                 )
-        for ni in net.interfaces:
+        for ni in interfaces:
             port = getattr(ni, "port", None)
             if port is not None:
                 check_port(port, f"NI {ni.node} port")
 
-    def _audit_reservations(self, net, now: int) -> None:
+    def _audit_reservations(self, net, now: int, scope) -> None:
         """No live timeslot in the past; no claim outliving its plan."""
-        for router in net.routers:
+        routers, _, _ = scope
+        for router in routers:
             for port in router.output_ports.values():
                 table = getattr(port, "reservations", None)
                 if table is None:

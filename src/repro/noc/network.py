@@ -103,6 +103,16 @@ class Network:
         self.time_skip = _time_skip_default
         #: Idle cycles fast-forwarded instead of stepped.
         self.cycles_skipped = 0
+        #: Boundary-port observer installed by the sharded engine
+        #: (:mod:`repro.shard`).  When set, routers report grants whose
+        #: downstream router belongs to another shard through
+        #: ``boundary.note_grant(port, packet, now)``.  None in every
+        #: serial run, keeping the hot path to one attribute check.
+        self.boundary = None
+        #: Shard ownership view (:class:`repro.shard.domain.ShardDomain`)
+        #: consulted by the invariant suite to restrict audits to owned
+        #: components.  None in every serial run.
+        self.shard_view = None
 
     # -- observers (tracer, fault injector, invariant suite) ---------------
 

@@ -355,6 +355,12 @@ class MeshRouter(BaseRouter):
         tracer = self.network.tracer
         if not port.is_ejection:
             port.downstream_vc(packet.vc_index).allocated_to = packet
+            boundary = self.network.boundary
+            if boundary is not None:
+                # Sharded runs mirror VC allocations whose downstream
+                # router lives in another shard (the write above landed
+                # on a local replica; the owner must replay it).
+                boundary.note_grant(port, packet, now)
             if tracer.enabled:
                 tracer.emit(now, EV_VC_ALLOC, pid=packet.pid, node=self.node,
                             direction=port.direction.name,

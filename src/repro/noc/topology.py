@@ -113,6 +113,31 @@ class MeshTopology:
             current = self.neighbor(current, direction)
         return current
 
+    def row_domains(self, count: int) -> List[Tuple[int, int]]:
+        """Partition the mesh into ``count`` contiguous row stripes.
+
+        Returns per-domain ``(first_node, last_node)`` inclusive node-id
+        ranges (row-major numbering keeps each stripe a contiguous id
+        range).  Rows split as evenly as possible: the first
+        ``height % count`` stripes take one extra row.  Used by the
+        sharded simulation engine, whose boundary protocol exchanges
+        traffic only across the horizontal cuts between stripes.
+        """
+        if not 1 <= count <= self.height:
+            raise ValueError(
+                f"cannot cut {self.height} rows into {count} row domains"
+            )
+        base, extra = divmod(self.height, count)
+        domains: List[Tuple[int, int]] = []
+        row = 0
+        for index in range(count):
+            rows = base + (1 if index < extra else 0)
+            first = row * self.width
+            last = (row + rows) * self.width - 1
+            domains.append((first, last))
+            row += rows
+        return domains
+
     def bidirectional_links(self) -> List[Tuple[int, int]]:
         """Each physical adjacent pair once; for area/power accounting."""
         links = []

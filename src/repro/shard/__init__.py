@@ -1,0 +1,28 @@
+"""Sharded parallel simulation of one large mesh.
+
+One scenario, cut into contiguous row stripes, stepped by cooperating
+workers that exchange boundary flits, credits, and VC grants at
+conservative cycle barriers — with statistics bit-identical to the
+serial simulator (the golden-digest tests are the oracle).
+
+Entry point: :func:`repro.shard.engine.run_sharded`.
+"""
+
+from repro.shard.engine import ShardResult, run_sharded, summary_digest
+from repro.shard.merge import merge_snapshots, merge_stats
+from repro.shard.spec import (GOLDEN_SPEC, SHARD_BENCH_SPEC, ShardError,
+                              SyntheticSpec, plan_shards, shards_from_env)
+
+__all__ = [
+    "GOLDEN_SPEC",
+    "SHARD_BENCH_SPEC",
+    "ShardError",
+    "ShardResult",
+    "SyntheticSpec",
+    "merge_snapshots",
+    "merge_stats",
+    "plan_shards",
+    "run_sharded",
+    "shards_from_env",
+    "summary_digest",
+]

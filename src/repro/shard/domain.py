@@ -1,0 +1,452 @@
+"""One shard of a spatially partitioned mesh simulation.
+
+A :class:`ShardDomain` owns a contiguous stripe of mesh rows.  It
+builds the *full* network (so node numbering, routing tables, and the
+injection RNG stream are bit-identical to a serial run) but steps only
+the routers and NIs it owns; the rows adjacent to its stripe act as
+passive replicas whose buffers mirror the owning shard's real state.
+
+Cross-boundary effects travel as small picklable records:
+
+* ``("a", capture, node, dir, vc, pid, flit_index, state)`` — a flit
+  sent into a non-owned router.  The head flit carries the packet's
+  serialized state; the owner materializes the packet once and pulls
+  later flits from it by index.  Fires at ``capture + 2`` (the link
+  hop latency).
+* ``("p", capture, node, dir, vc)`` — the owner of an input buffer
+  popped a flit whose upstream (feeder) port lives in another shard.
+  The feeder's shard replays the pop on its replica buffer and
+  schedules the credit return its serial run would have seen.
+* ``("g", capture, node, dir, vc, pid)`` — a router allocated a VC in
+  a non-owned downstream router; the owner mirrors ``allocated_to``.
+
+Synchronization is conservative in the Chandy–Misra–Bryant style.
+The serial step order (all NIs, then all routers, in ascending node
+id) gives the cut an asymmetric discipline: records from the previous
+shard (lower ids, steps *before* this stripe in the same cycle) apply
+before this shard executes the capture cycle; records from the next
+shard (steps *after*) are staged and applied one cycle later.  A shard
+may therefore execute cycle ``t`` iff it holds complete knowledge of
+the previous shard through ``t`` and of the next shard through
+``t - 1``.  Knowledge comes either from a neighbor's reported
+``through`` (cycles it fully executed and flushed) or from its
+``promise`` (a lower bound on any future record's capture cycle — the
+null message of CMB), corrected on the receiving side by the earliest
+arrival the sender has not acknowledged yet.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import List, Optional
+
+from repro.noc.packet import Packet
+from repro.noc.topology import Direction
+from repro.shard.spec import ShardError, SyntheticSpec
+
+INF = math.inf
+
+
+class _WireCtx:
+    """Save context for packets serialized onto the boundary wire.
+
+    Mesh synthetic traffic carries no payloads and no PRA plans, which
+    is what keeps a boundary record self-contained; anything else is a
+    hard error rather than a silent drop.
+    """
+
+    @staticmethod
+    def ref(value):
+        if value is not None:
+            raise ShardError("cannot ship packet payloads across shards")
+        return None
+
+    @staticmethod
+    def plan_ref(plan):
+        if plan is not None:
+            raise ShardError("cannot ship PRA plans across shards")
+        return None
+
+
+_WIRE_CTX = _WireCtx()
+
+
+class _Link:
+    """Per-neighbor synchronization state (one per adjacent cut)."""
+
+    __slots__ = ("cov_through", "promise", "staged", "out_records",
+                 "out_min_fire", "out_seq", "in_seq", "in_ack",
+                 "sent_log", "last_through", "last_promise", "last_seen")
+
+    def __init__(self):
+        self.cov_through = -1     # peer fully executed & flushed <= this
+        self.promise = 0          # peer's latest capture lower bound
+        self.staged = deque()     # received records, capture-ordered
+        self.out_records: list = []   # captured since the last flush
+        self.out_min_fire = INF   # earliest arrival fire among out_records
+        self.out_seq = 0
+        self.in_seq = 0           # last seq received
+        #: Seq of the last *record-bearing* flush received.  Only those
+        #: need acknowledging (acks prune the peer's sent_log); acking
+        #: heartbeats too would ping-pong flushes forever.
+        self.in_ack = 0
+        self.sent_log: list = []  # [(seq, min_arrival_fire)] unacked
+        self.last_through = -1    # dedup state for heartbeat flushes
+        self.last_promise: Optional[float] = None
+        self.last_seen = 0
+
+
+class ShardDomain:
+    """A row stripe of the mesh plus its boundary bookkeeping."""
+
+    def __init__(self, spec: SyntheticSpec, index: int, count: int,
+                 observers: str = "none"):
+        self.spec = spec
+        self.index = index
+        self.count = count
+        net, traffic = spec.build()
+        self.net = net
+        self.traffic = traffic
+        domains = net.topology.row_domains(count)
+        self.first, self.last = domains[index]
+        #: Packets that crossed in, keyed by pid (body flits of a packet
+        #: arrive as bare (pid, index) references).
+        self.registry = {}
+        #: Packets that fully crossed in / out of this stripe; together
+        #: with the local injected/ejected counters these make
+        #: :attr:`resident` the exact count of packets physically here.
+        self.entered = 0
+        self.exited = 0
+        self.prev = _Link() if index > 0 else None
+        self.next = _Link() if index < count - 1 else None
+        traffic.inject_filter = self.owns
+        net.shard_view = self
+        self._install_hooks()
+        if observers == "tracing":
+            from repro.invariants import InvariantSuite
+            from repro.trace import RingTracer
+
+            net.attach(tracer=RingTracer(capacity=1 << 12))
+            net.attach(invariants=InvariantSuite())
+
+    # -- ownership ---------------------------------------------------------
+
+    def owns(self, node: int) -> bool:
+        return self.first <= node <= self.last
+
+    @property
+    def resident(self) -> int:
+        """Packets physically inside this stripe (or bound for it)."""
+        return self.net.stats.in_flight + self.entered - self.exited
+
+    # -- boundary capture --------------------------------------------------
+
+    def _install_hooks(self) -> None:
+        net = self.net
+        first, last = self.first, self.last
+
+        orig_wake_router = net.wake_router
+        orig_wake_ni = net.wake_ni
+
+        def wake_router(node: int) -> None:
+            if first <= node <= last:
+                orig_wake_router(node)
+
+        def wake_ni(node: int) -> None:
+            if first <= node <= last:
+                orig_wake_ni(node)
+
+        net.wake_router = wake_router
+        net.wake_ni = wake_ni
+
+        orig_arrival = net.schedule_arrival
+
+        def schedule_arrival(time, router, direction, vc_index, flit):
+            node = router.node
+            if not first <= node <= last:
+                packet = flit.packet
+                state = (packet.state_dict(_WIRE_CTX)
+                         if flit.is_head else None)
+                self._capture(
+                    node,
+                    ("a", net.cycle, node, int(direction), vc_index,
+                     packet.pid, flit.index, state),
+                    arrival_fire=time,
+                )
+                if flit.is_tail:
+                    self.exited += 1
+            # Keep the local copy either way: the sender's replica of
+            # the downstream buffer must fill so credit accounting and
+            # can_accept reads stay bit-identical to the serial run.
+            orig_arrival(time, router, direction, vc_index, flit)
+
+        net.schedule_arrival = schedule_arrival
+
+        orig_credit = net.schedule_credit
+
+        def schedule_credit(time, port, vc_index):
+            router = port.router
+            if router is not None and not first <= router.node <= last:
+                # This shard popped a replica-fed buffer; the feeder
+                # port's owner replays the pop and schedules the real
+                # credit.  Suppress the local event: the feeder port
+                # here is itself a replica.
+                self._capture(
+                    router.node,
+                    ("p", net.cycle, router.node, int(port.direction),
+                     vc_index),
+                )
+                return
+            orig_credit(time, port, vc_index)
+
+        net.schedule_credit = schedule_credit
+        net.boundary = self
+
+    def note_grant(self, port, packet, now: int) -> None:
+        """Boundary-port hook (see ``Network.boundary``): a local router
+        allocated a VC whose router lives in another shard."""
+        node = port.downstream_router.node
+        if self.owns(node):
+            return
+        self._capture(node, ("g", now, node, int(port.downstream_dir),
+                             packet.vc_index, packet.pid))
+
+    def _capture(self, node: int, record: tuple,
+                 arrival_fire: Optional[int] = None) -> None:
+        link = self.prev if node < self.first else self.next
+        if link is None:
+            raise ShardError(
+                f"record for node {node} crosses a non-adjacent cut"
+            )
+        link.out_records.append(record)
+        if arrival_fire is not None and arrival_fire < link.out_min_fire:
+            link.out_min_fire = arrival_fire
+
+    # -- record application ------------------------------------------------
+
+    def _apply(self, record: tuple) -> None:
+        net = self.net
+        kind = record[0]
+        if kind == "a":
+            _, capture, node, d, vc_index, pid, flit_index, state = record
+            if state is not None:
+                self.registry[pid] = Packet.from_state(state)
+                self.entered += 1
+            packet = self.registry[pid]
+            net.schedule_arrival(capture + 2, net.routers[node],
+                                 Direction(d), vc_index,
+                                 packet.flits[flit_index])
+        elif kind == "p":
+            _, capture, node, d, vc_index = record
+            port = net.routers[node].output_ports[Direction(d)]
+            net.schedule_credit(capture + 2, port, vc_index)
+            # Replay the pop on the replica of the downstream buffer so
+            # this shard's can_accept/credit reads keep matching serial.
+            port.downstream_unit.vcs[vc_index].pop()
+            port.downstream_router.active_flits -= 1
+        else:  # "g"
+            _, capture, node, d, vc_index, pid = record
+            unit = net.routers[node].input_units[Direction(d)]
+            unit.vcs[vc_index].allocated_to = self.registry[pid]
+
+    def _drain_link(self, link: Optional[_Link], through: int) -> None:
+        if link is None or not link.staged:
+            return
+        staged = link.staged
+        grants: List[tuple] = []
+        while staged and staged[0][1] <= through:
+            record = staged.popleft()
+            # Grants last: a grant references the packet its same-cycle
+            # head arrival materializes into the registry.
+            if record[0] == "g":
+                grants.append(record)
+            else:
+                self._apply(record)
+        for record in grants:
+            self._apply(record)
+
+    def _drain_staged(self, now: int) -> None:
+        # The previous stripe steps before this one within a cycle, the
+        # next stripe after it — hence the asymmetric thresholds.
+        self._drain_link(self.prev, now)
+        self._drain_link(self.next, now - 1)
+
+    # -- conservative coverage ---------------------------------------------
+
+    def _coverage(self, link: Optional[_Link]) -> float:
+        """Cycles of the neighbor this shard has complete knowledge of."""
+        if link is None:
+            return INF
+        pending = link.out_min_fire
+        for _, fire in link.sent_log:
+            if fire < pending:
+                pending = fire
+        return max(link.cov_through, min(link.promise, pending) - 1)
+
+    def _promise(self) -> float:
+        """Lower bound on the capture cycle of any future record."""
+        net = self.net
+        horizon = net.next_event_cycle()
+        promise = INF if horizon is None else float(horizon)
+        if net.cycle < self.spec.cycles:
+            # Still injecting: a packet injected at `cycle` reaches its
+            # first router (and can cross) at `cycle + 2` at the soonest.
+            promise = min(promise, net.cycle + 2)
+        for link in (self.prev, self.next):
+            if link is None:
+                continue
+            # Staged arrivals fire at capture + 2 once applied but are
+            # invisible to the local event horizon until then.
+            for record in link.staged:
+                if record[0] == "a":
+                    promise = min(promise, record[1] + 2)
+                    break  # capture-ordered: the first "a" is minimal
+            # A record the neighbor has not sent yet has capture beyond
+            # our coverage; its effects here fire two cycles later.
+            promise = min(promise, self._coverage(link) + 3)
+        return promise
+
+    def _staged_min(self, link: Optional[_Link]) -> Optional[int]:
+        if link is None or not link.staged:
+            return None
+        return link.staged[0][1]
+
+    # -- the advance loop ---------------------------------------------------
+
+    def advance(self, hard_stop: Optional[int] = None) -> bool:
+        """Execute (or provably skip) cycles while coverage allows.
+
+        Returns True if the clock moved.  ``hard_stop`` pins a
+        checkpoint barrier: the clock never passes it.
+        """
+        net = self.net
+        spec = self.spec
+        end_inject = spec.cycles
+        stop = spec.cycles + spec.drain
+        if hard_stop is not None and hard_stop < stop:
+            stop = hard_stop
+        progressed = False
+        while True:
+            t = net.cycle
+            if t >= stop:
+                break
+            limit = min(self._coverage(self.prev),
+                        self._coverage(self.next) + 1)
+            if t > limit:
+                break
+            # Fire this cycle's due events first: a staged pop record
+            # may target a replica flit whose arrival fires exactly now.
+            net._run_events(t)
+            self._drain_staged(t)
+            if t < end_inject:
+                # Injection draws the RNG every cycle; never skip here.
+                self.traffic.inject()
+                net.step()
+                progressed = True
+                continue
+            horizon = net.next_event_cycle()
+            if horizon is not None and horizon <= t:
+                net.step()
+                progressed = True
+                continue
+            # Idle at t: fast-forward, bounded by coverage and by the
+            # cycles at which staged records fall due.
+            target = stop
+            if horizon is not None and horizon < target:
+                target = horizon
+            if limit != INF and limit + 1 < target:
+                target = int(limit) + 1
+            bound = self._staged_min(self.prev)
+            if bound is not None and bound < target:
+                target = bound
+            bound = self._staged_min(self.next)
+            if bound is not None and bound + 1 < target:
+                target = bound + 1
+            if target <= t:
+                break
+            if horizon is None and limit == INF \
+                    and self._staged_min(self.prev) is None \
+                    and self._staged_min(self.next) is None:
+                # Fully quiescent and unconstrained: nothing can happen
+                # here until a neighbor flushes something.
+                break
+            if net.time_skip:
+                net._skip_to(target)
+            else:
+                net.step()
+            progressed = True
+        return progressed
+
+    def barrier_drain(self, barrier: int) -> None:
+        """Settle staged records at a checkpoint barrier.
+
+        Called when every shard's clock sits exactly at ``barrier``:
+        records captured at ``barrier - 1`` by the *next* stripe (which
+        would normally apply just before executing ``barrier``) must
+        land before the snapshot so the merged checkpoint equals the
+        serial state at the barrier.
+        """
+        if self.net.cycle != barrier:
+            raise ShardError(
+                f"shard {self.index} at cycle {self.net.cycle}, "
+                f"expected barrier {barrier}"
+            )
+        self._drain_link(self.prev, barrier - 1)
+        self._drain_link(self.next, barrier - 1)
+
+    # -- flush protocol ------------------------------------------------------
+
+    def make_flush(self, side: str) -> Optional[dict]:
+        """Compose the outgoing message for ``side`` ("prev"/"next").
+
+        Returns None when the peer already has everything: no new
+        records, and through/promise/ack unchanged since the last flush.
+        """
+        link = self.prev if side == "prev" else self.next
+        if link is None:
+            return None
+        through = self.net.cycle - 1
+        promise = self._promise()
+        if (not link.out_records and through == link.last_through
+                and promise == link.last_promise
+                and link.in_ack == link.last_seen):
+            return None
+        link.out_seq += 1
+        message = {
+            "seq": link.out_seq,
+            "through": through,
+            "promise": None if promise is INF else promise,
+            "seen": link.in_ack,
+            "records": link.out_records,
+        }
+        if link.out_records:
+            link.sent_log.append((link.out_seq, link.out_min_fire))
+        link.out_records = []
+        link.out_min_fire = INF
+        link.last_through = through
+        link.last_promise = promise
+        link.last_seen = link.in_ack
+        return message
+
+    def receive_flush(self, side: str, message: dict) -> None:
+        link = self.prev if side == "prev" else self.next
+        if link is None:
+            raise ShardError(f"shard {self.index} has no {side} neighbor")
+        if message["seq"] != link.in_seq + 1:
+            raise ShardError(
+                f"out-of-order flush on shard {self.index} {side}: "
+                f"got seq {message['seq']} after {link.in_seq}"
+            )
+        link.in_seq = message["seq"]
+        seen = message["seen"]
+        if seen and link.sent_log:
+            link.sent_log = [(seq, fire) for seq, fire in link.sent_log
+                             if seq > seen]
+        if message["records"]:
+            link.in_ack = message["seq"]
+        link.staged.extend(message["records"])
+        if message["through"] > link.cov_through:
+            link.cov_through = message["through"]
+        promise = message["promise"]
+        link.promise = INF if promise is None else promise

@@ -1,0 +1,157 @@
+"""Worker-process backend for sharded simulation.
+
+One process per shard, each owning a :class:`ShardDomain`; the parent
+coordinates supersteps over ``multiprocessing`` pipes and routes flush
+messages between adjacent shards.  All protocol logic lives in the
+domain — this module is only plumbing, which is what keeps the inline
+and process backends digest-identical by construction.
+
+Workers start their pid counters a billion apart so packets minted in
+different processes never collide when a merged checkpoint stitches
+the registries back together.  (Pids are never part of the statistics
+digest; uniqueness is all that matters.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Tuple
+
+from repro.noc.topology import MeshTopology
+from repro.shard.domain import ShardDomain
+from repro.shard.merge import merge_snapshots
+from repro.shard.spec import ShardError, SyntheticSpec
+
+#: Pid-space stride between workers; far beyond any packet count a
+#: single run can mint.
+_PID_STRIDE = 1_000_000_000
+
+
+def _worker_main(conn, spec: SyntheticSpec, index: int, count: int,
+                 observers: str) -> None:
+    try:
+        from repro.noc.packet import set_next_pid
+
+        set_next_pid(index * _PID_STRIDE)
+        dom = ShardDomain(spec, index, count, observers=observers)
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "round":
+                _, inbox, hard_stop = message
+                for side, flush in inbox:
+                    dom.receive_flush(side, flush)
+                dom.advance(hard_stop=hard_stop)
+                conn.send(("state", dom.net.cycle,
+                           dom.net.stats.in_flight,
+                           dom.make_flush("prev"),
+                           dom.make_flush("next")))
+            elif command == "barrier":
+                from repro.checkpoint.snapshot import snapshot_network
+
+                dom.barrier_drain(message[1])
+                conn.send(("snapshot",
+                           snapshot_network(dom.net, dom.traffic)))
+            elif command == "stats":
+                conn.send(("stats", dom.net.stats.state_dict(),
+                           dom.net.cycles_skipped, dom.traffic.offered,
+                           dom.net.cycle))
+            elif command == "stop":
+                conn.close()
+                return
+            else:
+                raise ShardError(f"unknown command {command!r}")
+    except Exception as exc:  # surface worker tracebacks in the parent
+        import traceback
+
+        try:
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+
+
+class ProcessPool:
+    """Parent-side coordinator over one pipe per shard worker."""
+
+    def __init__(self, spec: SyntheticSpec, count: int, observers: str):
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        self.spec = spec
+        self.count = count
+        self.conns: list = []
+        self.procs: list = []
+        self.pending: List[list] = [[] for _ in range(count)]
+        self.final_clocks = [0] * count
+        for index in range(count):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, spec, index, count, observers),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except EOFError:
+            raise ShardError("shard worker died without a reply") from None
+        if reply[0] == "error":
+            raise ShardError(f"shard worker failed:\n{reply[1]}")
+        return reply
+
+    def round(self, hard_stop: Optional[int]
+              ) -> Tuple[List[int], List[int], int]:
+        for i, conn in enumerate(self.conns):
+            conn.send(("round", self.pending[i], hard_stop))
+            self.pending[i] = []
+        clocks: List[int] = []
+        flights: List[int] = []
+        produced = 0
+        for i, conn in enumerate(self.conns):
+            _, clock, flight, out_prev, out_next = self._recv(conn)
+            clocks.append(clock)
+            flights.append(flight)
+            if out_prev is not None:
+                produced += 1
+                self.pending[i - 1].append(("next", out_prev))
+            if out_next is not None:
+                produced += 1
+                self.pending[i + 1].append(("prev", out_next))
+        self.final_clocks = clocks
+        return clocks, flights, produced
+
+    def barrier_checkpoint(self, barrier: int) -> dict:
+        for conn in self.conns:
+            conn.send(("barrier", barrier))
+        snapshots = [self._recv(conn)[1] for conn in self.conns]
+        topo = MeshTopology(self.spec.width, self.spec.height)
+        return merge_snapshots(snapshots, topo.row_domains(self.count),
+                               barrier)
+
+    def stats(self) -> List[Tuple[dict, int, int]]:
+        for conn in self.conns:
+            conn.send(("stats",))
+        out = []
+        for i, conn in enumerate(self.conns):
+            _, state, skipped, offered, clock = self._recv(conn)
+            out.append((state, skipped, offered))
+            self.final_clocks[i] = clock
+        return out
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except Exception:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()

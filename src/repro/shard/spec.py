@@ -1,0 +1,99 @@
+"""Scenario specification and shard planning for parallel simulation.
+
+A :class:`SyntheticSpec` pins everything a worker process needs to
+rebuild its copy of the simulation — network parameters, traffic
+pattern, seed, and run length — as a small picklable value.  The same
+spec drives the serial reference run, every shard of a sharded run, and
+the golden-digest tests, so "serial and sharded are bit-identical" is a
+statement about one shared scenario object rather than two hand-kept
+copies.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.noc.network import build_network
+from repro.params import NocKind, NocParams
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+
+class ShardError(RuntimeError):
+    """A sharded run hit state it cannot represent or merge."""
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """A self-contained synthetic-traffic scenario.
+
+    The defaults replicate the golden network scenario of
+    ``tests/test_golden_determinism.py`` (8x8 mesh, uniform random at
+    rate 0.02, seed 7, 800 injection cycles plus a full drain).
+    """
+
+    kind: NocKind = NocKind.MESH
+    width: int = 8
+    height: int = 8
+    pattern: TrafficPattern = TrafficPattern.UNIFORM_RANDOM
+    rate: float = 0.02
+    seed: int = 7
+    cycles: int = 800
+    drain: int = 20000
+
+    def params(self) -> NocParams:
+        return NocParams(kind=self.kind, mesh_width=self.width,
+                         mesh_height=self.height)
+
+    def build(self):
+        """Fresh ``(network, traffic)`` pair for this scenario."""
+        net = build_network(self.params())
+        traffic = SyntheticTraffic(net, self.pattern, self.rate,
+                                   seed=self.seed)
+        return net, traffic
+
+
+#: The pinned golden scenario (see tests/test_golden_determinism.py).
+GOLDEN_SPEC = SyntheticSpec()
+
+#: Dedicated sharding win-meter scenario for ``repro bench``: a 16x16
+#: mesh is large enough that per-cycle simulation work dominates the
+#: boundary-exchange overhead.
+SHARD_BENCH_SPEC = SyntheticSpec(width=16, height=16, rate=0.02,
+                                 seed=11, cycles=600, drain=20000)
+
+
+def plan_shards(params: NocParams,
+                requested: int) -> Tuple[int, Optional[str]]:
+    """Decide how many shards a scenario actually supports.
+
+    Returns ``(effective, reason)``; ``reason`` is a human-readable
+    explanation whenever ``effective`` differs from ``requested``.  Only
+    the baseline mesh is sharded for real: SMART, Mesh+PRA, and the
+    ideal network all make same-cycle reads across arbitrary distances
+    (bypass paths, control broadcasts, zero-load delivery), which a
+    row-stripe cut cannot serve conservatively.
+    """
+    if requested < 1:
+        raise ValueError(f"shard count must be positive, got {requested}")
+    if requested == 1:
+        return 1, None
+    if params.kind is not NocKind.MESH:
+        return 1, (f"{params.kind.value} makes non-local same-cycle "
+                   f"reads; only the baseline mesh shards")
+    height = params.mesh_height
+    if requested > height:
+        return height, (f"clamped to {height}: one row stripe per shard "
+                        f"is the finest cut of a height-{height} mesh")
+    return requested, None
+
+
+def shards_from_env(default: int = 1) -> int:
+    """Resolve ``REPRO_SHARDS`` with the shared worker-count validator."""
+    from repro.harness.runner import parse_worker_count
+
+    raw = os.environ.get("REPRO_SHARDS")
+    if raw is None:
+        return default
+    return parse_worker_count(raw, "REPRO_SHARDS")

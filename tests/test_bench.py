@@ -41,7 +41,9 @@ def test_run_bench_produces_complete_report(tmp_path):
     assert report["schema"] == SCHEMA_VERSION
     assert report["scale"] == "tiny"
     orgs = {k.value for k in ALL_KINDS}
-    assert set(report["micro"]) == orgs | {f"{org}@low" for org in orgs}
+    assert set(report["micro"]) == (
+        orgs | {f"{org}@low" for org in orgs} | {"mesh@shard1"}
+    )
     for org in orgs:
         cell = report["micro"][org]
         assert cell["cycles"] == TINY.warmup + TINY.measure
@@ -56,6 +58,10 @@ def test_run_bench_produces_complete_report(tmp_path):
         # fast-forwarded real spans, and the digest pins the results.
         assert cell["cycles_skipped"] > 0
         assert len(cell["digest"]) == 64
+    shard_cell = report["micro"]["mesh@shard1"]
+    assert shard_cell["backend"] == "serial"
+    assert len(shard_cell["digest"]) == 64
+    assert report["shards"] == 1
     assert report["pools"]["packets_acquired"] > 0
     assert report["machine"]["calibration_mips"] > 0
     path = write_report(report, out=str(tmp_path / "BENCH_test.json"))
@@ -122,8 +128,12 @@ def test_num_jobs_env_handling(monkeypatch):
     assert runner._num_jobs() == 4
     monkeypatch.setenv("REPRO_JOBS", "0")  # auto: one worker per CPU
     assert runner._num_jobs() == (runner.os.cpu_count() or 1)
+    # Invalid values used to be swallowed into a silent default of 1;
+    # they now fail loudly with the shared worker-count message (the
+    # CLI turns this into exit 2, see tests/test_worker_plumbing.py).
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-    assert runner._num_jobs() == 1
+    with pytest.raises(ValueError, match="REPRO_JOBS must be"):
+        runner._num_jobs()
 
 
 def test_cli_compare_exit_codes(tmp_path, capsys):
