@@ -165,7 +165,7 @@ def _time_shard_cell(shards: int) -> dict:
     start = time.perf_counter()
     result = run_sharded(SHARD_BENCH_SPEC, shards, backend=backend)
     wall = time.perf_counter() - start
-    return {
+    cell = {
         "cycles": result.cycles,
         "wall_s": wall,
         "cycles_skipped": result.cycles_skipped,
@@ -173,6 +173,13 @@ def _time_shard_cell(shards: int) -> dict:
         "shards": result.shards,
         "backend": result.backend,
     }
+    # Supervision counters (process backend only; all-zero means the
+    # timing measured an undisturbed run).
+    if result.report is not None and not result.report.clean:
+        cell["respawns"] = result.report.respawns
+        cell["retries"] = result.report.retries
+        cell["failures"] = len(result.report.failures)
+    return cell
 
 
 def run_micro(scale: EvaluationScale, repeat: int = 2,
@@ -257,7 +264,7 @@ def run_macro(scale: EvaluationScale) -> Dict[str, object]:
     grid = evaluation_grid(scale=scale)
     wall = time.perf_counter() - start
     clear_grid_cache()
-    return {
+    macro = {
         "cells": len(grid),
         "wall_s": round(wall, 3),
         # The *resolved* worker count, not the raw environment string:
@@ -268,6 +275,15 @@ def run_macro(scale: EvaluationScale) -> Dict[str, object]:
         "store_hits": grid_stats.grid_cache_hits - hits0,
         "store_misses": grid_stats.grid_cache_misses - misses0,
     }
+    # Resilience counters for the sweep just timed; absent keys mean a
+    # clean run (a wall time with retries or pool rebuilds in it is a
+    # survival story, not a throughput measurement).
+    from repro.resilience import last_run_report
+
+    report = last_run_report()
+    if report is not None and not report.clean:
+        macro["resilience"] = report.to_dict()
+    return macro
 
 
 # -- reports ---------------------------------------------------------------

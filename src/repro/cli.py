@@ -131,8 +131,29 @@ def _apply_cell_store(args: argparse.Namespace) -> None:
         os.environ[STORE_ENV] = args.cell_store
 
 
+def _validate_wall_limit() -> None:
+    """Fail fast (exit 2 via ``main``) on a malformed REPRO_WALL_LIMIT
+    instead of deep inside a long sweep."""
+    from repro.harness.runner import _wall_limit
+
+    _wall_limit()
+
+
+def _report_grid_outcome() -> int:
+    """Exit code for a finished grid sweep: nonzero when cells were
+    quarantined or the run degraded, with the RunReport on stderr."""
+    from repro.resilience import last_run_report
+
+    report = last_run_report()
+    if report is not None and (report.quarantined or report.degraded):
+        print(report.render(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     _apply_cell_store(args)
+    _validate_wall_limit()
     scale = get_scale(args.scale)
     names = args.only.split(",") if args.only else list(_FIGURES)
     collected = {}
@@ -154,7 +175,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(serializable, fh, indent=2)
         print(f"wrote {args.json}")
-    return 0
+    return _report_grid_outcome()
 
 
 def _resolve_workload_arg(name: str) -> Optional[str]:
@@ -423,6 +444,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     _apply_cell_store(args)
+    _validate_wall_limit()
     from repro.bench import (
         compare_reports,
         profile_micro,
@@ -449,7 +471,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_report(report))
     path = write_report(report, out=args.out)
     print(f"\nwrote {path}")
-    return 0
+    return _report_grid_outcome()
 
 
 def _cmd_area(_args: argparse.Namespace) -> int:

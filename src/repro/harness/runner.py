@@ -108,15 +108,26 @@ def _cell_payload(cell: Cell) -> dict:
 
 
 def _wall_limit() -> Optional[float]:
-    """Per-cell wall-clock budget (seconds) from REPRO_WALL_LIMIT."""
+    """Per-cell wall-clock budget (seconds) from REPRO_WALL_LIMIT.
+
+    Invalid values raise a clear :class:`ValueError` (CLI exit 2)
+    instead of silently dropping the budget."""
     raw = os.environ.get("REPRO_WALL_LIMIT")
     if not raw:
         return None
     try:
         limit = float(raw)
     except ValueError:
-        return None
-    return limit if limit > 0 else None
+        raise ValueError(
+            f"REPRO_WALL_LIMIT must be a positive number of seconds, "
+            f"got {raw!r}"
+        ) from None
+    if limit <= 0:
+        raise ValueError(
+            f"REPRO_WALL_LIMIT must be a positive number of seconds, "
+            f"got {raw!r}"
+        )
+    return limit
 
 
 #: Wall-clock budget installed by :func:`_init_worker`.  ``_UNSET`` in
@@ -135,8 +146,19 @@ def _worker_settings() -> tuple:
     return (time_skip_enabled(), os.environ.get(STORE_ENV), _wall_limit())
 
 
+#: Fault plan shipped into grid workers by :func:`_init_worker`
+#: (``None`` outside injected-fault test runs).
+_worker_faults = None
+
+#: True only in a pool worker: an injected "kill" fault exits the
+#: process there but downgrades to a raised error in the parent
+#: (killing the parent would take the supervisor down with it).
+_in_worker = False
+
+
 def _init_worker(time_skip: bool, store_path: Optional[str],
-                 wall_limit: Optional[float]) -> None:
+                 wall_limit: Optional[float], faults=None,
+                 in_worker: bool = True) -> None:
     """Pool initializer: apply the parent's settings once per worker."""
     from repro.noc.network import set_time_skip
 
@@ -145,8 +167,10 @@ def _init_worker(time_skip: bool, store_path: Optional[str],
         os.environ.pop(STORE_ENV, None)
     else:
         os.environ[STORE_ENV] = store_path
-    global _worker_wall_limit
+    global _worker_wall_limit, _worker_faults, _in_worker
     _worker_wall_limit = wall_limit
+    _worker_faults = faults
+    _in_worker = in_worker
 
 
 def _cell_wall_limit() -> Optional[float]:
@@ -219,37 +243,179 @@ def _num_jobs() -> int:
                               "REPRO_JOBS")
 
 
-def _simulate_indexed(item: Tuple[int, Cell]):
-    """Pool entry point carrying the cell index (results arrive in
-    completion order under ``imap_unordered``)."""
-    index, cell = item
+def _simulate_indexed(item: Tuple[int, Cell, int]):
+    """Pool entry point carrying the cell index and attempt number
+    (results arrive in completion order; the attempt number keys
+    injected-fault lookup)."""
+    index, cell, attempt = item
+    if _worker_faults is not None:
+        action = _worker_faults.cell_action(index, attempt)
+        if action == "kill":
+            if _in_worker:
+                import os as _os
+
+                _os._exit(13)
+            from repro.resilience.faults import ProcessFaultError
+
+            raise ProcessFaultError(
+                f"injected kill for cell {index} (downgraded to an "
+                f"error outside a pool worker)"
+            )
+        if action == "error":
+            from repro.resilience.faults import ProcessFaultError
+
+            raise ProcessFaultError(
+                f"injected failure for cell {index} attempt {attempt}"
+            )
     return index, _simulate_cell(cell)
 
 
-def _run_cells(cells: List[Cell], pending: List[int],
-               results: List[Optional[PerfSample]]) -> None:
-    """Simulate ``cells[i]`` for every i in ``pending``, in place."""
-    jobs = _num_jobs()
-    if jobs > 1 and len(pending) > 1:
-        import multiprocessing
+def _cell_label(cell: Cell) -> str:
+    workload, kind, _, _, seed = cell
+    return f"{workload}/{kind.value} seed {seed}"
 
-        # Unordered completion keeps every worker busy regardless of
-        # how unevenly cell runtimes are distributed (ideal cells run
-        # ~5x faster than mesh+pra cells); small chunks bound the
-        # tail-latency cost of a slow chunk landing on one worker.
-        workers = min(jobs, len(pending))
-        chunksize = max(1, len(pending) // (workers * 4))
-        with multiprocessing.Pool(
-            workers, initializer=_init_worker, initargs=_worker_settings()
-        ) as pool:
-            for index, sample in pool.imap_unordered(
-                _simulate_indexed, [(i, cells[i]) for i in pending],
-                chunksize=chunksize,
-            ):
-                results[index] = sample
-    else:
-        for index in pending:
-            results[index] = _simulate_cell(cells[index])
+
+def _run_cells(cells: List[Cell], pending: List[int],
+               results: List[Optional[PerfSample]],
+               store=None, keys: Optional[List[Optional[str]]] = None,
+               faults=None, policy=None):
+    """Simulate ``cells[i]`` for every i in ``pending``, in place,
+    under supervision; returns the :class:`RunReport`.
+
+    Supervision means: each cell retries with exponential backoff and
+    is quarantined (result left ``None``, sweep continues) after
+    ``policy.quarantine_after`` failures; a crashed worker pool is
+    rebuilt and the outstanding cells resubmitted, degrading to serial
+    in-parent execution when rebuilds exhaust ``policy.max_retries``;
+    and every finished cell streams into ``store`` immediately, so a
+    crash mid-sweep keeps all work already done.
+    """
+    import time
+    from collections import deque
+
+    from repro.resilience.policy import RetryPolicy
+    from repro.resilience.report import FailureRecord, RunReport
+
+    if policy is None:
+        policy = RetryPolicy.from_env()
+    report = RunReport(backend="grid")
+    counts: Dict[int, int] = {}
+
+    def record_success(index: int, sample: PerfSample) -> None:
+        results[index] = sample
+        # Timed-out cells are partial measurements; persisting them
+        # would freeze the truncation into every future sweep.
+        if store is not None and keys is not None \
+                and sample is not None and not sample.timed_out:
+            store.put(keys[index], {"sample": sample.to_state()})
+
+    def record_error(index: int, detail: str) -> Optional[int]:
+        """Count one failure of ``index``; returns the next attempt
+        number, or None once the cell is quarantined."""
+        counts[index] = counts.get(index, 0) + 1
+        record = FailureRecord(scope="cell", target=_cell_label(cells[index]),
+                               kind="error", attempts=counts[index],
+                               detail=detail)
+        report.record_failure(record)
+        if counts[index] >= policy.quarantine_after:
+            report.quarantined.append(record)
+            return None
+        report.retries += 1
+        backoff = policy.backoff(counts[index])
+        if backoff:
+            time.sleep(backoff)
+        return counts[index]
+
+    def run_serial(queue) -> None:
+        # In-parent execution still honors the fault plan (with kills
+        # downgraded to errors), so poison cells quarantine identically
+        # whether the sweep runs serial, parallel, or degraded.
+        global _worker_faults, _in_worker
+        saved = (_worker_faults, _in_worker)
+        _worker_faults, _in_worker = faults, False
+        try:
+            while queue:
+                index, attempt = queue.popleft()
+                try:
+                    _, sample = _simulate_indexed(
+                        (index, cells[index], attempt)
+                    )
+                except Exception as exc:
+                    next_attempt = record_error(index, repr(exc))
+                    if next_attempt is not None:
+                        queue.append((index, next_attempt))
+                    continue
+                record_success(index, sample)
+        finally:
+            _worker_faults, _in_worker = saved
+
+    jobs = _num_jobs()
+    queue = deque((index, 0) for index in pending)
+    if jobs <= 1 or len(pending) <= 1:
+        run_serial(queue)
+        return report
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    # ProcessPoolExecutor rather than multiprocessing.Pool: a worker
+    # dying mid-cell surfaces as BrokenProcessPool here, where Pool
+    # (on this Python) simply hangs waiting for the lost result.
+    workers = min(jobs, len(pending))
+    rebuilds = 0
+    while queue:
+        broken = False
+        futures = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=_worker_settings() + (faults, True),
+            ) as pool:
+                while queue:
+                    index, attempt = queue.popleft()
+                    futures[pool.submit(
+                        _simulate_indexed, (index, cells[index], attempt)
+                    )] = (index, attempt)
+                for future in as_completed(futures):
+                    index, attempt = futures[future]
+                    try:
+                        _, sample = future.result()
+                    except BrokenProcessPool:
+                        # Collateral damage, not this cell's fault: no
+                        # failure count.  The attempt still advances so
+                        # an attempt-keyed injected kill does not
+                        # re-fire forever on resubmission.
+                        broken = True
+                        queue.append((index, attempt + 1))
+                        continue
+                    except Exception as exc:
+                        next_attempt = record_error(index, repr(exc))
+                        if next_attempt is not None:
+                            queue.append((index, next_attempt))
+                        continue
+                    record_success(index, sample)
+        except BrokenProcessPool:  # pragma: no cover - raised at exit
+            broken = True
+        if broken:
+            rebuilds += 1
+            report.pool_rebuilds += 1
+            report.record_failure(FailureRecord(
+                scope="pool", target=f"{workers}-worker grid pool",
+                kind="died", attempts=rebuilds,
+                detail="worker pool crashed; rebuilding and "
+                       "resubmitting outstanding cells",
+            ))
+            if rebuilds > policy.max_retries:
+                report.degraded = (
+                    "serial completion in the parent process after "
+                    f"{rebuilds} worker-pool crashes"
+                )
+                run_serial(queue)
+                return report
+            backoff = policy.backoff(rebuilds)
+            if backoff:
+                time.sleep(backoff)
+    return report
 
 
 def evaluation_grid(
@@ -257,24 +423,39 @@ def evaluation_grid(
     kinds: Iterable[NocKind] = ALL_KINDS,
     scale: Optional[EvaluationScale] = None,
     store=_UNSET,
+    faults=None,
+    policy=None,
 ) -> Dict[GridKey, PerfSample]:
     """Run (or fetch) the {workload} x {organization} simulation grid.
 
     ``store`` is a :class:`~repro.checkpoint.store.CellStore` persisting
     finished cells; by default it comes from the ``REPRO_CELL_STORE``
     env variable (unset means no persistence), and ``store=None``
-    disables persistence explicitly.  Store reads and writes happen in
-    the parent process, so with ``REPRO_JOBS > 1`` only the cells
-    actually missing are dispatched to the worker pool.  Multi-seed
-    scales merge per-seed samples by summing instructions and cycles
-    into one sample per cell.
+    disables persistence explicitly.  Store reads happen in the parent
+    process, so with ``REPRO_JOBS > 1`` only the cells actually missing
+    are dispatched to the worker pool, and every finished cell is
+    persisted as soon as it completes (a crash mid-sweep keeps all
+    cells already computed).  Multi-seed scales merge per-seed samples
+    by summing instructions and cycles into one sample per cell.
+
+    The sweep runs supervised (see :mod:`repro.resilience`): failing
+    cells retry with backoff under ``policy`` and are quarantined after
+    repeated failures (their grid entries are dropped rather than
+    killing the sweep), crashed worker pools are rebuilt, and the
+    resulting :class:`RunReport` is available afterwards via
+    :func:`repro.resilience.last_run_report`.  ``faults`` injects a
+    deterministic :class:`~repro.resilience.faults.ProcessFaultPlan`
+    for testing; fault-injected sweeps bypass the in-process grid cache
+    so injected failures cannot poison cached results.
     """
+    from repro.resilience.report import publish
+
     scale = scale or get_scale()
     workloads = tuple(workloads)
     kinds = tuple(kinds)
     seeds = tuple(seed + 1 for seed in range(scale.num_seeds))
     cache_key = (scale.name, workloads, kinds, seeds, _params_hash())
-    if cache_key in _grid_cache:
+    if faults is None and cache_key in _grid_cache:
         grid_stats.grid_cache_hits += 1
         return _grid_cache[cache_key]
     if store is _UNSET:
@@ -301,19 +482,22 @@ def evaluation_grid(
                 grid_stats.grid_cache_misses += 1
     else:
         pending = list(range(len(cells)))
-    _run_cells(cells, pending, results)
-    if store is not None:
-        for index in pending:
-            sample = results[index]
-            # Timed-out cells are partial measurements; persisting them
-            # would freeze the truncation into every future sweep.
-            if sample is not None and not sample.timed_out:
-                store.put(keys[index], {"sample": sample.to_state()})
+    report = _run_cells(cells, pending, results, store=store, keys=keys,
+                        faults=faults, policy=policy)
+    publish(report)
     by_key: Dict[GridKey, list] = {}
     for (workload, kind, *_), sample in zip(cells, results):
         by_key.setdefault((workload, kind), []).append(sample)
-    grid = {key: _merge(samples) for key, samples in by_key.items()}
-    _grid_cache[cache_key] = grid
+    grid = {}
+    for key, samples in by_key.items():
+        # Quarantined cells leave None holes; a key with every seed
+        # quarantined is dropped from the grid (visible in the report)
+        # rather than poisoning downstream figures with zeros.
+        kept = [sample for sample in samples if sample is not None]
+        if kept:
+            grid[key] = _merge(kept)
+    if faults is None:
+        _grid_cache[cache_key] = grid
     return grid
 
 

@@ -58,6 +58,15 @@ class NetworkStats:
     #: ``repro.harness.runner.grid_stats`` instance, not per network).
     grid_cache_hits: int = 0
     grid_cache_misses: int = 0
+    #: Supervised-execution observability (also counted on the
+    #: module-wide ``grid_stats`` instance via
+    #: ``repro.resilience.report.publish`` — never on the stats object
+    #: of a supervised run itself, so recovery leaves the pinned golden
+    #: digests untouched).
+    worker_retries: int = 0
+    worker_respawns: int = 0
+    pool_rebuilds: int = 0
+    cells_quarantined: int = 0
 
     def record_injection(self, packet: Packet) -> None:
         self.packets_injected += 1
@@ -151,6 +160,15 @@ class NetworkStats:
         if self.grid_cache_hits or self.grid_cache_misses:
             out["grid_cache_hits"] = self.grid_cache_hits
             out["grid_cache_misses"] = self.grid_cache_misses
+        # Same deal for the supervision counters: they only ever tick on
+        # the module-wide grid_stats object, and only when something
+        # actually failed, so unfaulted summaries stay digest-stable.
+        if self.worker_retries or self.worker_respawns \
+                or self.pool_rebuilds or self.cells_quarantined:
+            out["worker_retries"] = self.worker_retries
+            out["worker_respawns"] = self.worker_respawns
+            out["pool_rebuilds"] = self.pool_rebuilds
+            out["cells_quarantined"] = self.cells_quarantined
         # Allocator counters are process-wide (not per network) and vary
         # with unrelated runs in the same process, so they are opt-in to
         # keep the default key set digest-stable.
@@ -188,6 +206,10 @@ class NetworkStats:
             "pra_planned_packets": self.pra_planned_packets,
             "grid_cache_hits": self.grid_cache_hits,
             "grid_cache_misses": self.grid_cache_misses,
+            "worker_retries": self.worker_retries,
+            "worker_respawns": self.worker_respawns,
+            "pool_rebuilds": self.pool_rebuilds,
+            "cells_quarantined": self.cells_quarantined,
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -218,3 +240,8 @@ class NetworkStats:
         self.pra_planned_packets = state["pra_planned_packets"]
         self.grid_cache_hits = state["grid_cache_hits"]
         self.grid_cache_misses = state["grid_cache_misses"]
+        # Absent in snapshots written before supervised execution.
+        self.worker_retries = state.get("worker_retries", 0)
+        self.worker_respawns = state.get("worker_respawns", 0)
+        self.pool_rebuilds = state.get("pool_rebuilds", 0)
+        self.cells_quarantined = state.get("cells_quarantined", 0)

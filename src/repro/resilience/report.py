@@ -1,0 +1,140 @@
+"""Structured outcomes of supervised execution.
+
+A :class:`RunReport` is the supervisor's flight record: every failure it
+saw, every recovery it performed, every cell it gave up on.  The CLI
+prints it on nonzero exit, the bench harness embeds its counters in
+reports, and ``publish`` mirrors the counters onto the module-wide
+``grid_stats`` object so they appear in ``NetworkStats.summary()``
+alongside the grid-cache counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class FailureRecord:
+    """One observed failure, diagnosed and attributed."""
+
+    #: What failed: ``"shard"`` (a shard worker), ``"cell"`` (one
+    #: evaluation-grid cell), or ``"pool"`` (a whole grid worker pool).
+    scope: str
+    #: Human-readable identity: ``"shard 1"``, ``"Web Search/mesh seed 1"``.
+    target: str
+    #: Diagnosis: ``"died"`` (process gone, exit code known), ``"hung"``
+    #: (alive but silent past the heartbeat), ``"garbage"`` (malformed
+    #: reply), ``"error"`` (worker-reported exception), ``"protocol"``
+    #: (shard-protocol invariant broke).
+    kind: str
+    #: Failures of this target so far (1-based at first failure).
+    attempts: int
+    detail: str = ""
+
+    def render(self) -> str:
+        text = f"{self.scope} {self.target}: {self.kind} " \
+               f"(attempt {self.attempts})"
+        if self.detail:
+            first = self.detail.strip().splitlines()[0]
+            text += f" — {first}"
+        return text
+
+
+@dataclass
+class RunReport:
+    """Everything the supervisor did to keep one run alive."""
+
+    backend: str
+    #: Recovery attempts (each one retried work that had failed).
+    retries: int = 0
+    #: Shard worker pools respawned from a recovery point (or scratch).
+    respawns: int = 0
+    #: Evaluation-grid worker pools rebuilt after a crash.
+    pool_rebuilds: int = 0
+    #: Cycle-barrier recovery points taken during the run.
+    recovery_points: int = 0
+    #: Every failure observed, in order (recovered ones included).
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Poison cells abandoned after ``quarantine_after`` failures.
+    quarantined: List[FailureRecord] = field(default_factory=list)
+    #: Set when retries exhausted and the run continued in a degraded
+    #: mode (serial continuation from the last recovery point).
+    degraded: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the run needed no recovery at all."""
+        return not self.failures and not self.quarantined \
+            and self.degraded is None
+
+    @property
+    def completed(self) -> bool:
+        """True when the run produced a full result (possibly degraded,
+        but with nothing quarantined)."""
+        return not self.quarantined
+
+    def record_failure(self, record: FailureRecord) -> None:
+        self.failures.append(record)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "pool_rebuilds": self.pool_rebuilds,
+            "recovery_points": self.recovery_points,
+            "failures": len(self.failures),
+            "quarantined": [f.render() for f in self.quarantined],
+            "degraded": self.degraded,
+        }
+
+    def render(self) -> str:
+        lines = [f"run report ({self.backend} backend):"]
+        lines.append(
+            f"  failures observed:   {len(self.failures)}"
+            f"  (retries {self.retries}, respawns {self.respawns}, "
+            f"pool rebuilds {self.pool_rebuilds})"
+        )
+        lines.append(f"  recovery points:     {self.recovery_points}")
+        if self.degraded:
+            lines.append(f"  degraded:            {self.degraded}")
+        if self.quarantined:
+            lines.append(f"  quarantined ({len(self.quarantined)}):")
+            for record in self.quarantined:
+                lines.append(f"    - {record.render()}")
+        for record in self.failures:
+            lines.append(f"  failure: {record.render()}")
+        if self.clean:
+            lines.append("  no failures; no recovery needed")
+        return "\n".join(lines)
+
+
+#: The most recent supervised run's report (grid sweep or sharded run);
+#: the CLI reads this to print diagnostics on nonzero exit.
+_LAST_REPORT: Optional[RunReport] = None
+
+
+def publish(report: RunReport) -> None:
+    """Record ``report`` as the latest and mirror its counters onto the
+    process-wide ``grid_stats`` object (so retry/respawn/quarantine
+    totals show up in ``NetworkStats.summary()``)."""
+    global _LAST_REPORT
+    _LAST_REPORT = report
+    # Imported lazily: repro.harness.runner imports this module.
+    from repro.harness.runner import grid_stats
+
+    grid_stats.worker_retries += report.retries
+    grid_stats.worker_respawns += report.respawns
+    grid_stats.pool_rebuilds += report.pool_rebuilds
+    grid_stats.cells_quarantined += len(report.quarantined)
+
+
+def last_run_report() -> Optional[RunReport]:
+    return _LAST_REPORT
+
+
+def clear_last_report() -> None:
+    """Forget the latest report (tests use this for isolation)."""
+    global _LAST_REPORT
+    _LAST_REPORT = None

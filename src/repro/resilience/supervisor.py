@@ -1,0 +1,247 @@
+"""Supervised sharded execution: recover, retry, degrade — never die.
+
+``run_supervised`` wraps the worker-process shard backend in a
+supervision loop:
+
+* it takes periodic **recovery points** — cycle barriers at which every
+  shard drains its boundary records and snapshots
+  (:meth:`ProcessPool.barrier`), so a clean per-shard restart state
+  always exists;
+* when a worker fails (died / hung / garbage / crashed — every receive
+  is heartbeat-polled and diagnosed as a structured
+  :class:`~repro.shard.spec.WorkerFailure`), it kills the pool, sleeps
+  a bounded exponential backoff, and **respawns** the whole pool from
+  the last recovery point (reaching a new recovery point resets the
+  retry budget, so only repeated failures without forward progress
+  count against ``max_retries``);
+* when retries exhaust, it **degrades gracefully**: the per-shard
+  recovery snapshots merge into one serial-shaped snapshot
+  (:func:`repro.shard.merge.merge_snapshots`), which a single in-parent
+  network restores and finishes serially.
+
+Every path replays deterministic work, so the pinned golden digests are
+the correctness oracle for recovery itself: a supervised run that was
+killed, respawned, or degraded must still hash to the serial digest.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.noc.topology import MeshTopology
+from repro.resilience.faults import ProcessFaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import FailureRecord, RunReport, publish
+from repro.shard.engine import ShardResult, _run_serial, summary_digest
+from repro.shard.merge import merge_snapshots, merge_stats
+from repro.shard.spec import (
+    ShardError,
+    SyntheticSpec,
+    WorkerFailure,
+    plan_shards,
+)
+
+
+def _diagnose(exc: ShardError) -> Tuple[str, str]:
+    """(target, kind) of a shard-layer failure for the run report."""
+    if isinstance(exc, WorkerFailure):
+        kind = "error" if exc.kind == "crashed" else exc.kind
+        return str(exc.shard), kind
+    return "driver", "protocol"
+
+
+def _merge_recovery(spec: SyntheticSpec, shards: int,
+                    pairs: List[Tuple[dict, dict]], barrier: int) -> dict:
+    topo = MeshTopology(spec.width, spec.height)
+    return merge_snapshots([snap for snap, _ in pairs],
+                           topo.row_domains(shards), barrier)
+
+
+def _degrade(spec: SyntheticSpec, shards: int, reason: Optional[str],
+             recovery: Optional[Tuple[int, list]],
+             checkpoint_at: Optional[int], checkpoint: Optional[dict],
+             report: RunReport) -> ShardResult:
+    """Finish the run serially from the last recovery point."""
+    if recovery is None:
+        # Failed before the first recovery point: the whole run replays
+        # serially from cycle 0 (observers stay off — the degraded path
+        # optimizes for finishing, not instrumentation).
+        report.degraded = "serial replay from cycle 0 (no recovery point)"
+        result = _run_serial(spec, "none", checkpoint_at, reason)
+        result.backend = "serial-degraded"
+        result.report = report
+        publish(report)
+        return result
+    from repro.checkpoint.snapshot import restore_network, snapshot_network
+
+    barrier, pairs = recovery
+    merged = _merge_recovery(spec, shards, pairs, barrier)
+    net, traffic = restore_network(merged)
+    report.degraded = f"serial continuation from recovery point " \
+                      f"at cycle {barrier}"
+    if checkpoint_at is not None and checkpoint is None \
+            and checkpoint_at > barrier:
+        traffic.run(checkpoint_at - barrier)
+        checkpoint = snapshot_network(net, traffic)
+        traffic.run(spec.cycles - checkpoint_at)
+    else:
+        traffic.run(spec.cycles - barrier)
+    net.drain(max_cycles=spec.drain)
+    summary = net.stats.summary()
+    publish(report)
+    return ShardResult(
+        digest=summary_digest(summary),
+        summary=summary,
+        shards=shards,
+        backend="serial-degraded",
+        fallback_reason=reason,
+        checkpoint=checkpoint,
+        cycles=net.cycle,
+        cycles_skipped=net.cycles_skipped,
+        offered=traffic.offered,
+        clocks=[net.cycle],
+        report=report,
+    )
+
+
+def run_supervised(spec: SyntheticSpec, shards: int,
+                   observers: str = "none",
+                   checkpoint_at: Optional[int] = None,
+                   policy: Optional[RetryPolicy] = None,
+                   faults: Optional[ProcessFaultPlan] = None
+                   ) -> ShardResult:
+    """Run ``spec`` on the worker-process shard backend under
+    supervision (crash recovery, bounded retries, graceful degradation).
+
+    Digest-equivalent to :func:`repro.shard.engine.run_sharded` with
+    ``backend="process"`` — including when workers are killed, hang, or
+    babble mid-run (injected via ``faults`` or otherwise)."""
+    from repro.shard.process import ProcessPool
+
+    if policy is None:
+        policy = RetryPolicy.from_env()
+    if observers not in ("none", "tracing"):
+        raise ValueError(
+            f"observers must be 'none' or 'tracing', got {observers!r}"
+        )
+    if faults is not None and faults.is_empty:
+        faults = None
+    effective, reason = plan_shards(spec.params(), shards)
+    if effective == 1:
+        if faults is not None:
+            raise ValueError(
+                "process fault injection needs a multi-shard process "
+                f"run; this scenario runs serially ({reason or 'shards=1'})"
+            )
+        result = _run_serial(spec, observers, checkpoint_at, reason)
+        result.report = RunReport(backend="serial")
+        publish(result.report)
+        return result
+    if checkpoint_at is not None \
+            and not 0 < checkpoint_at <= spec.cycles:
+        raise ValueError(
+            f"checkpoint_at must be within the injection phase "
+            f"(0, {spec.cycles}], got {checkpoint_at}"
+        )
+
+    barriers = set(policy.barriers(spec.cycles))
+    if checkpoint_at is not None:
+        barriers.add(checkpoint_at)
+    pending_barriers = sorted(barriers)
+
+    report = RunReport(backend="process")
+    end_inject = spec.cycles
+    deadline = spec.cycles + spec.drain
+    recovery: Optional[Tuple[int, list]] = None  # (barrier, pairs)
+    checkpoint: Optional[dict] = None
+    attempt = 0
+    incarnation = 0
+    states = None
+    final_clocks: List[int] = []
+
+    while states is None:
+        pool = ProcessPool(
+            spec, effective, observers, faults=faults,
+            heartbeat=policy.heartbeat_timeout,
+            incarnation=incarnation,
+            restore=None if recovery is None else recovery[1],
+        )
+        upcoming = deque(
+            b for b in pending_barriers
+            if recovery is None or b > recovery[0]
+        )
+        prev_clocks: Optional[List[int]] = None
+        try:
+            while True:
+                hard_stop = upcoming[0] if upcoming else None
+                clocks, flights, produced = pool.round(hard_stop)
+                total = sum(flights)
+                if hard_stop is not None and produced == 0 \
+                        and all(c == hard_stop for c in clocks):
+                    pairs = pool.barrier(hard_stop)
+                    recovery = (hard_stop, pairs)
+                    report.recovery_points += 1
+                    attempt = 0  # forward progress refills the budget
+                    if checkpoint_at == hard_stop:
+                        checkpoint = _merge_recovery(
+                            spec, effective, pairs, hard_stop
+                        )
+                    upcoming.popleft()
+                    prev_clocks = None
+                    continue
+                if hard_stop is None and total == 0 \
+                        and all(c >= end_inject for c in clocks):
+                    states = pool.stats()
+                    final_clocks = list(pool.final_clocks)
+                    break
+                if total > 0 and all(c >= deadline for c in clocks):
+                    raise RuntimeError(
+                        f"network failed to drain: {total} packets in "
+                        f"flight after {spec.drain} cycles"
+                    )
+                if produced == 0 and clocks == prev_clocks:
+                    raise ShardError(
+                        f"sharded run stalled at clocks {clocks}: no "
+                        f"boundary traffic and no clock progress"
+                    )
+                prev_clocks = clocks
+            pool.close()
+        except ShardError as exc:
+            pool.kill()
+            attempt += 1
+            target, kind = _diagnose(exc)
+            report.record_failure(FailureRecord(
+                scope="shard", target=target, kind=kind,
+                attempts=attempt, detail=str(exc),
+            ))
+            if attempt > policy.max_retries:
+                return _degrade(spec, effective, reason, recovery,
+                                checkpoint_at, checkpoint, report)
+            backoff = policy.backoff(attempt)
+            if backoff:
+                time.sleep(backoff)
+            incarnation += 1
+            report.retries += 1
+            report.respawns += 1
+        except BaseException:
+            pool.kill()
+            raise
+
+    stats = merge_stats([state for state, _, _ in states])
+    summary = stats.summary()
+    publish(report)
+    return ShardResult(
+        digest=summary_digest(summary),
+        summary=summary,
+        shards=effective,
+        backend="process",
+        fallback_reason=reason,
+        checkpoint=checkpoint,
+        cycles=max(final_clocks),
+        cycles_skipped=sum(skipped for _, skipped, _ in states),
+        offered=sum(offered for _, _, offered in states),
+        clocks=final_clocks,
+        report=report,
+    )

@@ -11,7 +11,8 @@ Entry point: :func:`repro.shard.engine.run_sharded`.
 from repro.shard.engine import ShardResult, run_sharded, summary_digest
 from repro.shard.merge import merge_snapshots, merge_stats
 from repro.shard.spec import (GOLDEN_SPEC, SHARD_BENCH_SPEC, ShardError,
-                              SyntheticSpec, plan_shards, shards_from_env)
+                              SyntheticSpec, WorkerFailure, plan_shards,
+                              shards_from_env)
 
 __all__ = [
     "GOLDEN_SPEC",
@@ -19,6 +20,7 @@ __all__ = [
     "ShardError",
     "ShardResult",
     "SyntheticSpec",
+    "WorkerFailure",
     "merge_snapshots",
     "merge_stats",
     "plan_shards",

@@ -101,23 +101,44 @@ class ShardDomain:
     """A row stripe of the mesh plus its boundary bookkeeping."""
 
     def __init__(self, spec: SyntheticSpec, index: int, count: int,
-                 observers: str = "none"):
+                 observers: str = "none", restore_from=None):
         self.spec = spec
         self.index = index
         self.count = count
-        net, traffic = spec.build()
+        if restore_from is None:
+            net, traffic = spec.build()
+            packets: dict = {}
+            aux = {"entered": 0, "exited": 0}
+        else:
+            # Recovery-point restart: rebuild this shard's full state
+            # (owned rows real, neighbor rows replicas) from its own
+            # barrier snapshot instead of from scratch.  The boundary
+            # links below start fresh, which is protocol-consistent:
+            # ``barrier_drain`` applied every staged record before the
+            # snapshot, so a barrier is as clean a cut as cycle 0.
+            from repro.checkpoint.snapshot import restore_network
+
+            snap, aux = restore_from
+            packets = {}
+            net, traffic = restore_network(snap, packets_out=packets)
+            if traffic is None:
+                raise ShardError(
+                    "recovery snapshot carries no traffic state"
+                )
         self.net = net
         self.traffic = traffic
         domains = net.topology.row_domains(count)
         self.first, self.last = domains[index]
         #: Packets that crossed in, keyed by pid (body flits of a packet
-        #: arrive as bare (pid, index) references).
-        self.registry = {}
+        #: arrive as bare (pid, index) references).  On restore this is
+        #: every snapshotted packet — a superset of the original map,
+        #: harmless because it is only ever read by pid.
+        self.registry = dict(packets)
         #: Packets that fully crossed in / out of this stripe; together
         #: with the local injected/ejected counters these make
         #: :attr:`resident` the exact count of packets physically here.
-        self.entered = 0
-        self.exited = 0
+        self.entered = aux["entered"]
+        self.exited = aux["exited"]
         self.prev = _Link() if index > 0 else None
         self.next = _Link() if index < count - 1 else None
         traffic.inject_filter = self.owns

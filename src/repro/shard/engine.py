@@ -50,6 +50,8 @@ class ShardResult:
     cycles_skipped: int = 0
     offered: int = 0
     clocks: List[int] = field(default_factory=list)
+    #: The supervisor's flight record (process backend; None inline).
+    report: Optional[object] = None
 
 
 class _InlinePool:
@@ -189,13 +191,20 @@ def _run_serial(spec: SyntheticSpec, observers: str,
 
 def run_sharded(spec: SyntheticSpec, shards: int,
                 backend: str = "inline", observers: str = "none",
-                checkpoint_at: Optional[int] = None) -> ShardResult:
+                checkpoint_at: Optional[int] = None,
+                policy=None, faults=None) -> ShardResult:
     """Simulate ``spec`` cut into ``shards`` row stripes.
 
     Serial and sharded runs of the same spec produce bit-identical
     statistics summaries (and therefore digests); ``checkpoint_at``
     additionally returns a merged snapshot taken at that cycle barrier,
     restorable by :func:`repro.checkpoint.snapshot.restore_network`.
+
+    The process backend always runs supervised
+    (:func:`repro.resilience.supervisor.run_supervised`): workers that
+    die, hang, or babble are respawned from recovery-point barriers
+    under ``policy`` (default: :meth:`RetryPolicy.from_env`), and
+    ``faults`` injects deterministic process failures for testing.
     """
     if backend not in ("inline", "process"):
         raise ValueError(
@@ -204,6 +213,16 @@ def run_sharded(spec: SyntheticSpec, shards: int,
     if observers not in ("none", "tracing"):
         raise ValueError(
             f"observers must be 'none' or 'tracing', got {observers!r}"
+        )
+    if backend == "process":
+        from repro.resilience.supervisor import run_supervised
+
+        return run_supervised(spec, shards, observers=observers,
+                              checkpoint_at=checkpoint_at,
+                              policy=policy, faults=faults)
+    if faults is not None:
+        raise ValueError(
+            "process fault injection requires the process backend"
         )
     effective, reason = plan_shards(spec.params(), shards)
     if effective == 1:
@@ -214,12 +233,7 @@ def run_sharded(spec: SyntheticSpec, shards: int,
             f"checkpoint_at must be within the injection phase "
             f"(0, {spec.cycles}], got {checkpoint_at}"
         )
-    if backend == "process":
-        from repro.shard.process import ProcessPool
-
-        pool = ProcessPool(spec, effective, observers)
-    else:
-        pool = _InlinePool(spec, effective, observers)
+    pool = _InlinePool(spec, effective, observers)
     try:
         checkpoint = _drive(pool, spec, checkpoint_at)
         states = pool.stats()
@@ -227,10 +241,7 @@ def run_sharded(spec: SyntheticSpec, shards: int,
         pool.close()
     stats = merge_stats([state for state, _, _ in states])
     summary = stats.summary()
-    if backend == "inline":
-        clocks = [dom.net.cycle for dom in pool.domains]
-    else:
-        clocks = pool.final_clocks
+    clocks = [dom.net.cycle for dom in pool.domains]
     return ShardResult(
         digest=summary_digest(summary),
         summary=summary,

@@ -24,6 +24,33 @@ class ShardError(RuntimeError):
     """A sharded run hit state it cannot represent or merge."""
 
 
+class WorkerFailure(ShardError):
+    """A shard worker process failed, with a structured diagnosis.
+
+    ``kind`` is one of ``"died"`` (process gone; ``exitcode`` says how),
+    ``"hung"`` (alive but silent past the heartbeat timeout),
+    ``"garbage"`` (malformed reply on the pipe), or ``"crashed"``
+    (the worker itself reported an exception before exiting).
+    """
+
+    def __init__(self, shard: int, kind: str, detail: str = "",
+                 exitcode: Optional[int] = None,
+                 pid: Optional[int] = None):
+        message = f"shard {shard} worker {kind}"
+        if exitcode is not None:
+            message += f" (exit code {exitcode})"
+        if pid is not None:
+            message += f" (pid {pid})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.shard = shard
+        self.kind = kind
+        self.detail = detail
+        self.exitcode = exitcode
+        self.pid = pid
+
+
 @dataclass(frozen=True)
 class SyntheticSpec:
     """A self-contained synthetic-traffic scenario.

@@ -106,9 +106,12 @@ def test_wall_limit_fallback_without_initializer(monkeypatch,
     assert runner._cell_wall_limit() == 7.25
     monkeypatch.delenv("REPRO_WALL_LIMIT")
     assert runner._cell_wall_limit() is None
-    # Junk and non-positive budgets read as "no limit" rather than
-    # crashing a worker mid-cell.
+    # Junk and non-positive budgets fail loudly (the CLI validates the
+    # variable up front, so a worker never gets this far with a bad
+    # value; see tests/test_resilience.py for the exit-2 path).
     monkeypatch.setenv("REPRO_WALL_LIMIT", "junk")
-    assert runner._cell_wall_limit() is None
+    with pytest.raises(ValueError, match="REPRO_WALL_LIMIT must be"):
+        runner._cell_wall_limit()
     monkeypatch.setenv("REPRO_WALL_LIMIT", "-1")
-    assert runner._cell_wall_limit() is None
+    with pytest.raises(ValueError, match="REPRO_WALL_LIMIT must be"):
+        runner._cell_wall_limit()
