@@ -1,0 +1,116 @@
+"""Model-vs-simulation validation: the honesty check behind pruning.
+
+``python -m repro analytic --validate`` (and the CI ``analytic-smoke``
+job) runs the cycle-accurate evaluation grid with pruning forced off,
+asks the model for the same cells, and reports the per-cell relative
+latency and IPC error.  :data:`LATENCY_ERROR_MARGIN` is the committed
+bound: validation fails (CI goes red) the moment a model change or a
+simulator change pushes any cell past it, so ``REPRO_ANALYTIC=prune``
+can never silently serve answers worse than the documented margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.analytic.system import predict_cell
+from repro.params import NocKind
+
+#: Committed relative-error bound on per-cell mean packet latency (and
+#: aggregate IPC) in the deep-unsaturated regime the pruning policy
+#: admits.  Measured at smoke and default scales across all 24 cells;
+#: see docs/performance.md for the fit and the re-validation policy.
+LATENCY_ERROR_MARGIN = 0.12
+
+#: IPC tracks latency through the closed loop but is additionally
+#: damped by compute cycles, so its bound is tighter.
+IPC_ERROR_MARGIN = 0.08
+
+
+@dataclass(frozen=True)
+class CellValidation:
+    """One grid cell's model-vs-sim comparison."""
+
+    workload: str
+    kind: NocKind
+    simulated_latency: float
+    predicted_latency: float
+    simulated_ipc: float
+    predicted_ipc: float
+
+    @property
+    def latency_error(self) -> float:
+        if not self.simulated_latency:
+            return 0.0
+        return abs(self.predicted_latency - self.simulated_latency) \
+            / self.simulated_latency
+
+    @property
+    def ipc_error(self) -> float:
+        if not self.simulated_ipc:
+            return 0.0
+        return abs(self.predicted_ipc - self.simulated_ipc) \
+            / self.simulated_ipc
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All cells' comparisons plus the pass/fail verdict."""
+
+    entries: Tuple[CellValidation, ...]
+    margin: float = LATENCY_ERROR_MARGIN
+    ipc_margin: float = IPC_ERROR_MARGIN
+
+    @property
+    def max_latency_error(self) -> float:
+        return max((e.latency_error for e in self.entries), default=0.0)
+
+    @property
+    def max_ipc_error(self) -> float:
+        return max((e.ipc_error for e in self.entries), default=0.0)
+
+    @property
+    def worst(self) -> Optional[CellValidation]:
+        return max(self.entries, key=lambda e: e.latency_error,
+                   default=None)
+
+    @property
+    def ok(self) -> bool:
+        return (self.max_latency_error <= self.margin
+                and self.max_ipc_error <= self.ipc_margin)
+
+
+def validate_grid(
+    scale=None,
+    workloads: Optional[Iterable[str]] = None,
+    kinds: Optional[Iterable[NocKind]] = None,
+) -> ValidationReport:
+    """Compare the model against a (pruning-disabled) simulated grid.
+
+    Honors the usual grid machinery — scales, the cell store, worker
+    pools — but forces ``analytic="off"`` so the reference numbers are
+    always cycle-accurate even under ``REPRO_ANALYTIC=prune``.
+    """
+    from repro.harness.runner import ALL_KINDS, evaluation_grid
+    from repro.workloads.profiles import WORKLOAD_NAMES
+
+    workloads = tuple(workloads) if workloads is not None else WORKLOAD_NAMES
+    kinds = tuple(kinds) if kinds is not None else ALL_KINDS
+    grid = evaluation_grid(workloads, kinds, scale, analytic="off")
+    entries = []
+    for workload in workloads:
+        for kind in kinds:
+            sample = grid.get((workload, kind))
+            if sample is None:  # quarantined cell; nothing to compare
+                continue
+            prediction = predict_cell(workload, kind)
+            entries.append(CellValidation(
+                workload=workload,
+                kind=kind,
+                simulated_latency=sample.avg_network_latency,
+                predicted_latency=prediction.avg_network_latency,
+                simulated_ipc=sample.ipc,
+                predicted_ipc=prediction.ipc,
+            ))
+    return ValidationReport(entries=tuple(entries))

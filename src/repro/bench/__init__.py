@@ -18,6 +18,7 @@ from repro.bench.harness import (
     profile_micro,
     render_compare,
     render_report,
+    run_analytic,
     run_bench,
     write_report,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "profile_micro",
     "render_compare",
     "render_report",
+    "run_analytic",
     "run_bench",
     "write_report",
 ]

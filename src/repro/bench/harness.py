@@ -286,6 +286,71 @@ def run_macro(scale: EvaluationScale) -> Dict[str, object]:
     return macro
 
 
+# -- analytic: pruned-sweep speedup ---------------------------------------
+
+
+def run_analytic(scale: EvaluationScale) -> Dict[str, object]:
+    """The analytic fast path's win-meter: full vs. pruned sweep.
+
+    Times the evaluation grid twice against no store — once with
+    pruning forced off, once with ``analytic="prune"`` — and reports
+    the speedup, how many cells the queueing model served, the model's
+    worst relative error on the cells it pruned, and whether every
+    *non*-pruned cell reproduced the full sweep bit-for-bit (it must:
+    pruning only ever removes simulations, it never perturbs one).
+    """
+    from repro.analytic.validate import (
+        IPC_ERROR_MARGIN,
+        LATENCY_ERROR_MARGIN,
+    )
+
+    clear_grid_cache()
+    start = time.perf_counter()
+    full = evaluation_grid(scale=scale, store=None, analytic="off")
+    wall_full = time.perf_counter() - start
+    clear_grid_cache()
+    pruned0 = grid_stats.analytic_cells
+    start = time.perf_counter()
+    pruned = evaluation_grid(scale=scale, store=None, analytic="prune")
+    wall_pruned = time.perf_counter() - start
+    clear_grid_cache()
+    cells_pruned = grid_stats.analytic_cells - pruned0
+    max_latency_error = 0.0
+    max_ipc_error = 0.0
+    non_pruned_identical = True
+    for key, sample in pruned.items():
+        reference = full.get(key)
+        if reference is None:
+            continue
+        if sample.analytic:
+            if reference.avg_network_latency:
+                max_latency_error = max(
+                    max_latency_error,
+                    abs(sample.avg_network_latency
+                        - reference.avg_network_latency)
+                    / reference.avg_network_latency,
+                )
+            if reference.ipc:
+                max_ipc_error = max(
+                    max_ipc_error,
+                    abs(sample.ipc - reference.ipc) / reference.ipc,
+                )
+        elif sample.to_state() != reference.to_state():
+            non_pruned_identical = False
+    return {
+        "cells": len(pruned),
+        "cells_pruned": cells_pruned,
+        "wall_full_s": round(wall_full, 3),
+        "wall_pruned_s": round(wall_pruned, 3),
+        "speedup": round(wall_full / wall_pruned, 1) if wall_pruned else 0.0,
+        "max_latency_error": round(max_latency_error, 4),
+        "max_ipc_error": round(max_ipc_error, 4),
+        "latency_margin": LATENCY_ERROR_MARGIN,
+        "ipc_margin": IPC_ERROR_MARGIN,
+        "non_pruned_identical": non_pruned_identical,
+    }
+
+
 # -- reports ---------------------------------------------------------------
 
 
@@ -311,6 +376,7 @@ def run_bench(
     report["pools"] = pool_summary()
     if include_macro:
         report["macro"] = run_macro(scale)
+        report["analytic"] = run_analytic(scale)
     report["total_wall_s"] = round(time.perf_counter() - start, 3)
     return report
 
@@ -351,6 +417,19 @@ def render_report(report: Dict[str, object]) -> str:
         lines.append(
             f"evaluation grid: {macro['cells']} cells in "
             f"{macro['wall_s']:.2f} s (REPRO_JOBS={macro['jobs']}{resumed})"
+        )
+    analytic = report.get("analytic")
+    if analytic:
+        lines.append(
+            f"analytic fast path: {analytic['cells_pruned']}/"
+            f"{analytic['cells']} cells pruned, sweep "
+            f"{analytic['wall_full_s']:.2f} s -> "
+            f"{analytic['wall_pruned_s']:.2f} s "
+            f"({analytic['speedup']:.1f}x); worst model error "
+            f"{analytic['max_latency_error']:.1%} latency / "
+            f"{analytic['max_ipc_error']:.1%} IPC; non-pruned cells "
+            + ("bit-identical"
+               if analytic["non_pruned_identical"] else "DIVERGED")
         )
     lines.append(f"total: {report['total_wall_s']:.2f} s")
     return "\n".join(lines)

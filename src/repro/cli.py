@@ -15,6 +15,13 @@ Commands:
   per-packet timeline (a planned response by default);
 * ``sweep [--noc KIND] [--pattern P] [--rates ...]`` — open-loop
   load-latency curves under synthetic traffic;
+* ``saturate [--noc KIND] [--pattern P] [--cold]`` — bisect the
+  saturation injection rate, warm-started from the analytic queueing
+  model's capacity bound (``--cold`` reproduces the legacy scan);
+* ``analytic [--validate] [--scale S]`` — print the queueing model's
+  predicted grid with zero simulation, or (with ``--validate``) run
+  the cycle-accurate grid and fail if the model's error exceeds the
+  committed margin;
 * ``chaos [--noc KIND] [--fault-seed N] [--intensity X]`` — run a
   seeded fault schedule (dropped control packets, stalled routers and
   links, multi-drop blackouts) with the runtime invariant checkers
@@ -37,6 +44,7 @@ from typing import List, Optional
 
 from repro.params import NocKind
 from repro.harness import (
+    analytic_validation,
     figure2,
     figure6,
     figure7,
@@ -61,7 +69,13 @@ _FIGURES = {
     "fig9": figure9,
     "power": power_analysis,
     "zeroload": lambda scale: zero_load_table(),
+    "analytic": analytic_validation,
 }
+
+#: ``figures`` without ``--only`` runs these; the analytic validation
+#: figure is opt-in because it forces a fully *simulated* grid (pruning
+#: off) — exactly what ``REPRO_ANALYTIC=prune`` users are avoiding.
+_DEFAULT_FIGURES = [name for name in _FIGURES if name != "analytic"]
 
 #: CLI spellings of the NoC kinds: the canonical value plus an
 #: underscore alias for the '+' (shell-friendlier, e.g. ``mesh_pra``).
@@ -155,7 +169,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     _apply_cell_store(args)
     _validate_wall_limit()
     scale = get_scale(args.scale)
-    names = args.only.split(",") if args.only else list(_FIGURES)
+    names = args.only.split(",") if args.only else list(_DEFAULT_FIGURES)
     collected = {}
     for name in names:
         if name not in _FIGURES:
@@ -474,6 +488,87 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return _report_grid_outcome()
 
 
+def _cmd_saturate(args: argparse.Namespace) -> int:
+    from repro.analytic import find_saturation
+    from repro.params import NocParams
+    from repro.workloads.synthetic import TrafficPattern
+
+    kind = _NOC_KINDS[args.noc]
+    width, height = args.mesh
+    params = NocParams(kind=kind, mesh_width=width, mesh_height=height)
+    hotspot = (
+        tuple(int(n) for n in args.hotspot.split(","))
+        if args.hotspot else None
+    )
+    result = find_saturation(
+        kind,
+        TrafficPattern(args.pattern),
+        params=params,
+        cycles=args.cycles,
+        seed=args.seed,
+        threshold=args.threshold,
+        tolerance=args.tol,
+        warm=not args.cold,
+        hotspot_nodes=hotspot,
+    )
+    print(f"organization:         {kind.value}")
+    print(f"pattern:              {result.pattern.value}")
+    print(f"model estimate:       {result.model_estimate:.4f} "
+          f"(injection probability/node/cycle)")
+    print(f"measured saturation:  {result.measured:.4f} "
+          f"(bracket [{result.bracket[0]:.4f}, {result.bracket[1]:.4f}])")
+    print(f"model error:          {result.model_error:.1%}")
+    print(f"zero-load latency:    {result.zero_load_latency:.2f} cycles "
+          f"(knee at {result.threshold:g}x)")
+    print(f"probe simulations:    {result.simulated_points} "
+          f"({'warm' if result.warm else 'cold'} start)")
+    if args.verbose:
+        print()
+        print("rate      latency   delivered saturated")
+        for point in result.points:
+            print(f"{point.rate:<10.4f}{point.latency:<10.2f}"
+                  f"{point.delivered_fraction:<10.3f}"
+                  f"{'yes' if point.saturated else 'no'}")
+    return 0
+
+
+def _cmd_analytic(args: argparse.Namespace) -> int:
+    _validate_wall_limit()
+    scale = get_scale(args.scale)
+    if args.validate:
+        result = analytic_validation(scale)
+        print(render_figure(result))
+        if not result["ok"]:
+            report = result["report"]
+            print(
+                f"\nvalidation FAILED: max latency error "
+                f"{report.max_latency_error:.1%} (margin "
+                f"{report.margin:.0%}), max IPC error "
+                f"{report.max_ipc_error:.1%} (margin "
+                f"{report.ipc_margin:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        return _report_grid_outcome()
+    # Without --validate: print the model's grid, no simulation at all.
+    from repro.analytic import predict_cell
+    from repro.harness.runner import ALL_KINDS
+    from repro.workloads.profiles import WORKLOAD_NAMES
+
+    header = ("workload             "
+              + "".join(f"{k.value:>10s}" for k in ALL_KINDS))
+    print("Analytic model IPC by organization (no simulation)")
+    print(header)
+    print("-" * len(header))
+    for workload in WORKLOAD_NAMES:
+        cells = "".join(
+            f"{predict_cell(workload, kind).ipc:10.1f}"
+            for kind in ALL_KINDS
+        )
+        print(f"{workload:<21s}{cells}")
+    return 0
+
+
 def _cmd_area(_args: argparse.Namespace) -> int:
     print(render_figure(figure8()))
     return 0
@@ -630,6 +725,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_time_skip_flag(p)
     _add_shards_flag(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "saturate",
+        help="model-seeded bisection search for the saturation rate",
+    )
+    p.add_argument("--noc", default="mesh", choices=sorted(_NOC_KINDS))
+    p.add_argument("--pattern", default="uniform_random")
+    p.add_argument("--mesh", type=_parse_mesh, default=(8, 8),
+                   metavar="WxH", help="mesh dimensions (default 8x8)")
+    p.add_argument("--cycles", type=int, default=2000,
+                   help="length of each probe window")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--threshold", type=float, default=3.0,
+                   help="saturation knee: latency above THRESHOLD x "
+                        "zero-load (default 3.0)")
+    p.add_argument("--tol", type=float, default=0.002,
+                   help="bisection bracket width to converge to")
+    p.add_argument("--cold", action="store_true",
+                   help="ignore the analytic estimate and cold-scan "
+                        "from 1%% load (more probes, same answer)")
+    p.add_argument("--hotspot", default=None, metavar="N,N,...",
+                   help="hotspot node ids for --pattern hotspot")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print every probe point")
+    _add_time_skip_flag(p)
+    p.set_defaults(func=_cmd_saturate)
+
+    p = sub.add_parser(
+        "analytic",
+        help="the queueing-model fast path: predictions and validation",
+    )
+    p.add_argument("--validate", action="store_true",
+                   help="simulate the full grid (pruning off) and fail "
+                        "if any cell's model error exceeds the margin")
+    p.add_argument("--scale", default=None,
+                   help="smoke | default | full (or REPRO_SCALE)")
+    _add_time_skip_flag(p)
+    p.set_defaults(func=_cmd_analytic)
 
     p = sub.add_parser("area", help="Figure 8 area model")
     p.set_defaults(func=_cmd_area)

@@ -14,6 +14,7 @@ the confidence intervals.
 
 from repro.harness.runner import EvaluationScale, get_scale, evaluation_grid
 from repro.harness.figures import (
+    analytic_validation,
     figure2,
     figure6,
     figure7,
@@ -30,6 +31,7 @@ __all__ = [
     "EvaluationScale",
     "get_scale",
     "evaluation_grid",
+    "analytic_validation",
     "figure2",
     "figure6",
     "figure7",

@@ -41,9 +41,23 @@ def _normalized_performance(
     grid = evaluation_grid(tuple(workloads), tuple(kinds), scale)
     out: Dict[str, Dict[NocKind, float]] = {}
     for workload in workloads:
-        base = grid[(workload, NocKind.MESH)].ipc
+        baseline = grid.get((workload, NocKind.MESH))
+        if baseline is None or not baseline.ipc:
+            # A quarantined (or zero-IPC) mesh cell leaves nothing to
+            # normalize against; a KeyError/ZeroDivisionError here
+            # would surface far from the cause.
+            raise RuntimeError(
+                f"cannot normalize {workload!r} to the mesh baseline: "
+                f"the (workload={workload!r}, kind=mesh) grid cell is "
+                + ("missing (quarantined after repeated failures — see "
+                   "the run report on stderr)" if baseline is None
+                   else "present but reports zero IPC")
+                + "; re-run the sweep or drop the workload from the "
+                  "figure"
+            )
         out[workload] = {
-            kind: grid[(workload, kind)].ipc / base for kind in kinds
+            kind: grid[(workload, kind)].ipc / baseline.ipc
+            for kind in kinds
         }
     return out
 
@@ -278,6 +292,50 @@ def zero_load_table(max_hops: int = 7) -> Dict:
                  "is an announced 5-flit response)",
         "headers": ["Hops"] + [_KIND_LABEL[k] for k in ALL_KINDS],
         "rows": rows,
+    }
+
+
+def analytic_validation(scale: Optional[EvaluationScale] = None) -> Dict:
+    """Model-vs-simulation error per grid cell (the pruning contract).
+
+    Runs the cycle-accurate grid with pruning forced off and compares
+    every cell against :func:`repro.analytic.predict_cell`.  Not in the
+    default ``figures`` set (it forces a full simulated grid even under
+    ``REPRO_ANALYTIC=prune``); ``--only analytic`` or ``python -m repro
+    analytic --validate`` requests it explicitly.
+    """
+    from repro.analytic import validate_grid
+
+    report = validate_grid(scale)
+    rows: List[List[object]] = [
+        [
+            entry.workload,
+            _KIND_LABEL[entry.kind],
+            entry.simulated_latency,
+            entry.predicted_latency,
+            entry.latency_error,
+            entry.ipc_error,
+        ]
+        for entry in report.entries
+    ]
+    rows.append([
+        "Max", "", "", "",
+        report.max_latency_error, report.max_ipc_error,
+    ])
+    verdict = "PASS" if report.ok else "FAIL"
+    return {
+        "title": (
+            "Analytic model validation: per-cell relative error vs. the "
+            f"cycle-accurate grid (margins {report.margin:.0%} latency / "
+            f"{report.ipc_margin:.0%} IPC — {verdict})"
+        ),
+        "headers": [
+            "Workload", "Organization", "SimLat", "ModelLat",
+            "LatErr", "IPCErr",
+        ],
+        "rows": rows,
+        "report": report,
+        "ok": report.ok,
     }
 
 

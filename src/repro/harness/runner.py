@@ -305,8 +305,11 @@ def _run_cells(cells: List[Cell], pending: List[int],
         results[index] = sample
         # Timed-out cells are partial measurements; persisting them
         # would freeze the truncation into every future sweep.
+        # Analytic samples are model output, not ground truth, and must
+        # never masquerade as cached simulation results.
         if store is not None and keys is not None \
-                and sample is not None and not sample.timed_out:
+                and sample is not None and not sample.timed_out \
+                and not sample.analytic:
             store.put(keys[index], {"sample": sample.to_state()})
 
     def record_error(index: int, detail: str) -> Optional[int]:
@@ -425,6 +428,7 @@ def evaluation_grid(
     store=_UNSET,
     faults=None,
     policy=None,
+    analytic: Optional[str] = None,
 ) -> Dict[GridKey, PerfSample]:
     """Run (or fetch) the {workload} x {organization} simulation grid.
 
@@ -438,6 +442,13 @@ def evaluation_grid(
     cells already computed).  Multi-seed scales merge per-seed samples
     by summing instructions and cycles into one sample per cell.
 
+    ``analytic`` selects the queueing-model fast path: ``"prune"``
+    serves high-confidence cells from :mod:`repro.analytic` instead of
+    simulating them (marked ``PerfSample.analytic``, counted on
+    ``grid_stats.analytic_cells``, never persisted to ``store``);
+    ``"warm"`` and ``"off"`` simulate everything.  ``None`` defers to
+    the ``REPRO_ANALYTIC`` env variable.
+
     The sweep runs supervised (see :mod:`repro.resilience`): failing
     cells retry with backoff under ``policy`` and are quarantined after
     repeated failures (their grid entries are dropped rather than
@@ -448,18 +459,43 @@ def evaluation_grid(
     for testing; fault-injected sweeps bypass the in-process grid cache
     so injected failures cannot poison cached results.
     """
+    from repro.analytic.screen import prune_max_util, resolve_mode
     from repro.resilience.report import publish
 
     scale = scale or get_scale()
     workloads = tuple(workloads)
     kinds = tuple(kinds)
     seeds = tuple(seed + 1 for seed in range(scale.num_seeds))
-    cache_key = (scale.name, workloads, kinds, seeds, _params_hash())
+    mode = resolve_mode(analytic)
+    if store is _UNSET:
+        store = default_store()
+    # The cache key carries everything that changes the result: the
+    # attached store (two sweeps against different stores must not
+    # alias) and the pruning policy (mode + effective utilization
+    # bound) alongside the cell coordinates.
+    cache_key = (
+        scale.name, workloads, kinds, seeds, _params_hash(),
+        store.root if store is not None else None,
+        mode, prune_max_util() if mode == "prune" else None,
+    )
     if faults is None and cache_key in _grid_cache:
         grid_stats.grid_cache_hits += 1
         return _grid_cache[cache_key]
-    if store is _UNSET:
-        store = default_store()
+    pruned: Dict[GridKey, PerfSample] = {}
+    if mode == "prune":
+        from repro.analytic.screen import screen_cell
+
+        for workload in workloads:
+            for kind in kinds:
+                decision = screen_cell(workload, kind)
+                if decision.prune:
+                    pruned[(workload, kind)] = decision.sample(
+                        scale.measure
+                    )
+        grid_stats.analytic_cells += len(pruned)
+        grid_stats.simulated_cells += (
+            len(workloads) * len(kinds) - len(pruned)
+        )
     cells: List[Cell] = [
         (workload, kind, scale.warmup, scale.measure, seed)
         for workload in workloads
@@ -468,9 +504,14 @@ def evaluation_grid(
     ]
     results: List[Optional[PerfSample]] = [None] * len(cells)
     keys: List[Optional[str]] = [None] * len(cells)
+    simulated = [
+        index for index, (workload, kind, *_) in enumerate(cells)
+        if (workload, kind) not in pruned
+    ]
     if store is not None:
         pending: List[int] = []
-        for index, cell in enumerate(cells):
+        for index in simulated:
+            cell = cells[index]
             key = cell_key(_cell_payload(cell))
             keys[index] = key
             cached = store.get(key)
@@ -481,7 +522,16 @@ def evaluation_grid(
                 pending.append(index)
                 grid_stats.grid_cache_misses += 1
     else:
-        pending = list(range(len(cells)))
+        pending = simulated
+    if pruned:
+        # Analytic cells never touch the store (keys stay None) and
+        # never enter the worker pool; each seed slot gets the same
+        # deterministic model sample so _merge treats the cell exactly
+        # like a simulated one.
+        for index, (workload, kind, *_) in enumerate(cells):
+            sample = pruned.get((workload, kind))
+            if sample is not None:
+                results[index] = sample
     report = _run_cells(cells, pending, results, store=store, keys=keys,
                         faults=faults, policy=policy)
     publish(report)
@@ -550,6 +600,7 @@ def _merge(samples) -> PerfSample:
         total_hops=sum(s.total_hops for s in samples),
         packets_unfinished=sum(s.packets_unfinished for s in samples),
         timed_out=any(s.timed_out for s in samples),
+        analytic=all(s.analytic for s in samples),
     )
 
 

@@ -67,6 +67,12 @@ class NetworkStats:
     worker_respawns: int = 0
     pool_rebuilds: int = 0
     cells_quarantined: int = 0
+    #: Analytic fast-path observability (also only ever counted on the
+    #: module-wide ``grid_stats`` instance): grid cells served by the
+    #: queueing model under ``REPRO_ANALYTIC=prune`` vs. cells that
+    #: still went through the cycle-accurate simulator.
+    analytic_cells: int = 0
+    simulated_cells: int = 0
 
     def record_injection(self, packet: Packet) -> None:
         self.packets_injected += 1
@@ -169,6 +175,12 @@ class NetworkStats:
             out["worker_respawns"] = self.worker_respawns
             out["pool_rebuilds"] = self.pool_rebuilds
             out["cells_quarantined"] = self.cells_quarantined
+        # And the analytic-screening counters: they only tick when a
+        # sweep ran with REPRO_ANALYTIC=prune, never during a plain
+        # simulation, so golden summaries are unaffected.
+        if self.analytic_cells or self.simulated_cells:
+            out["analytic_cells"] = self.analytic_cells
+            out["simulated_cells"] = self.simulated_cells
         # Allocator counters are process-wide (not per network) and vary
         # with unrelated runs in the same process, so they are opt-in to
         # keep the default key set digest-stable.
@@ -210,6 +222,8 @@ class NetworkStats:
             "worker_respawns": self.worker_respawns,
             "pool_rebuilds": self.pool_rebuilds,
             "cells_quarantined": self.cells_quarantined,
+            "analytic_cells": self.analytic_cells,
+            "simulated_cells": self.simulated_cells,
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -245,3 +259,6 @@ class NetworkStats:
         self.worker_respawns = state.get("worker_respawns", 0)
         self.pool_rebuilds = state.get("pool_rebuilds", 0)
         self.cells_quarantined = state.get("cells_quarantined", 0)
+        # Absent in snapshots written before the analytic fast path.
+        self.analytic_cells = state.get("analytic_cells", 0)
+        self.simulated_cells = state.get("simulated_cells", 0)

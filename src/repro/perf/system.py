@@ -47,6 +47,10 @@ class PerfSample:
     #: True when the wall-clock limit cut the interval short; the
     #: counters then cover only the cycles actually simulated.
     timed_out: bool = False
+    #: True when the sample came from the closed-form queueing model
+    #: (``REPRO_ANALYTIC=prune``) rather than cycle-accurate simulation.
+    #: Analytic samples are never persisted to a cell store.
+    analytic: bool = False
 
     @property
     def ipc(self) -> float:
@@ -105,6 +109,7 @@ class PerfSample:
             "total_hops": self.total_hops,
             "packets_unfinished": self.packets_unfinished,
             "timed_out": self.timed_out,
+            "analytic": self.analytic,
         }
 
     @classmethod

@@ -1,0 +1,366 @@
+"""Tests for the analytic fast path (repro.analytic).
+
+Three layers: the queueing model itself (zero-load laws, monotonicity,
+saturation), the pruning screen (modes, bounds, decisions), and the
+grid integration (store-key regression, pruned sweeps, validation).
+"""
+
+import pytest
+
+from repro.analytic import (
+    ANALYTIC_ENV,
+    IPC_ERROR_MARGIN,
+    LATENCY_ERROR_MARGIN,
+    CellValidation,
+    ValidationReport,
+    analytic_mode,
+    find_saturation,
+    predict_cell,
+    predict_network,
+    resolve_mode,
+    saturation_rate,
+    screen_cell,
+    synthetic_mix,
+    zero_load_latency,
+)
+from repro.analytic.screen import (
+    ANALYTIC_UTIL_ENV,
+    PRUNE_MAX_UTIL,
+    prune_max_util,
+)
+from repro.analytic.system import clear_prediction_cache
+from repro.checkpoint.store import CellStore
+from repro.harness.figures import zero_load_table
+from repro.harness.runner import (
+    ALL_KINDS,
+    EvaluationScale,
+    clear_grid_cache,
+    evaluation_grid,
+    grid_stats,
+)
+from repro.params import NocKind, NocParams
+from repro.workloads.synthetic import TrafficPattern
+
+TINY = EvaluationScale("tiny", warmup=150, measure=700, num_seeds=1)
+
+
+class TestZeroLoad:
+    def test_matches_simulated_zero_load_table(self):
+        """The closed-form laws must equal the cycle-accurate simulator
+        on an idle mesh, hop for hop (the same oracle zero_load_table
+        renders; Mesh+PRA's column is an announced 5-flit response)."""
+        table = zero_load_table(max_hops=4)
+        for row in table["rows"]:
+            hops = row[0]
+            for offset, kind in enumerate(ALL_KINDS, start=1):
+                predicted = zero_load_latency(
+                    kind, hops, 0,
+                    size=5 if kind is NocKind.MESH_PRA else 1,
+                    announced=kind is NocKind.MESH_PRA,
+                )
+                assert predicted == row[offset], (kind, hops)
+
+    def test_zero_hops_is_free(self):
+        for kind in ALL_KINDS:
+            assert zero_load_latency(kind, 0, 0) == 0.0
+
+
+class TestPredictNetwork:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_latency_monotonic_in_rate(self, kind):
+        cap = saturation_rate(kind)
+        rates = [cap * f for f in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9)]
+        latencies = [predict_network(kind, r).latency for r in rates]
+        for lo, hi in zip(latencies, latencies[1:]):
+            assert hi >= lo
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_zero_load_convergence(self, kind):
+        """As the rate goes to zero the contention term vanishes and
+        the prediction converges to the zero-load mean."""
+        idle = predict_network(kind, 0.0)
+        assert idle.mean_wait == 0.0
+        nearly = predict_network(kind, 1e-6 * saturation_rate(kind))
+        assert nearly.latency == pytest.approx(idle.latency, rel=1e-3)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_saturated_past_capacity(self, kind):
+        point = predict_network(kind, 1.01 * saturation_rate(kind))
+        assert point.saturated
+        assert point.latency == float("inf")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            predict_network(NocKind.MESH, -0.1)
+
+    def test_synthetic_mix_shapes(self):
+        rr = synthetic_mix(TrafficPattern.REQUEST_REPLY, response_size=3)
+        assert sum(w for _, w, _ in rr) == pytest.approx(1.0)
+        assert ("response", 0.5, 3) in rr
+        ur = synthetic_mix(TrafficPattern.UNIFORM_RANDOM)
+        assert sum(w for _, w, _ in ur) == pytest.approx(1.0)
+
+
+class TestPredictCell:
+    def test_sample_is_deterministic(self):
+        a = predict_cell("Web Search", NocKind.MESH).sample(1500)
+        b = predict_cell("Web Search", NocKind.MESH).sample(1500)
+        assert a.to_state() == b.to_state()
+        assert a.analytic
+        assert a.cycles == 1500
+        assert a.packets > 0
+        assert a.ipc > 0
+
+    def test_ideal_beats_mesh(self):
+        """The paper's headline ordering must survive the model."""
+        for workload in ("Web Search", "Data Serving"):
+            mesh = predict_cell(workload, NocKind.MESH)
+            ideal = predict_cell(workload, NocKind.IDEAL)
+            assert ideal.ipc > mesh.ipc
+            assert ideal.avg_network_latency < mesh.avg_network_latency
+
+    def test_agrees_with_simulation_within_margin(self):
+        """The documented contract: every organization's model error on
+        a cycle-accurate smoke-scale run stays inside the margins that
+        gate pruning (full-grid coverage runs in the CI analytic-smoke
+        job; one workload keeps this tier-1 test affordable)."""
+        clear_grid_cache()
+        smoke = EvaluationScale("smoke", warmup=300, measure=1500,
+                                num_seeds=1)
+        grid = evaluation_grid(("Web Search",), ALL_KINDS, smoke,
+                               store=None, analytic="off")
+        for kind in ALL_KINDS:
+            sample = grid[("Web Search", kind)]
+            prediction = predict_cell("Web Search", kind)
+            lat_err = abs(prediction.avg_network_latency
+                          - sample.avg_network_latency) \
+                / sample.avg_network_latency
+            ipc_err = abs(prediction.ipc - sample.ipc) / sample.ipc
+            assert lat_err <= LATENCY_ERROR_MARGIN, (kind, lat_err)
+            assert ipc_err <= IPC_ERROR_MARGIN, (kind, ipc_err)
+        clear_grid_cache()
+
+
+class TestModes:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(ANALYTIC_ENV, raising=False)
+        assert analytic_mode() == "off"
+        monkeypatch.setenv(ANALYTIC_ENV, "prune")
+        assert analytic_mode() == "prune"
+        monkeypatch.setenv(ANALYTIC_ENV, " WARM ")
+        assert analytic_mode() == "warm"
+        monkeypatch.setenv(ANALYTIC_ENV, "sometimes")
+        with pytest.raises(ValueError):
+            analytic_mode()
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ANALYTIC_ENV, "prune")
+        assert resolve_mode("off") == "off"
+        assert resolve_mode(None) == "prune"
+        with pytest.raises(ValueError):
+            resolve_mode("maybe")
+
+    def test_util_bound_env(self, monkeypatch):
+        monkeypatch.delenv(ANALYTIC_UTIL_ENV, raising=False)
+        assert prune_max_util() == PRUNE_MAX_UTIL
+        monkeypatch.setenv(ANALYTIC_UTIL_ENV, "0.25")
+        assert prune_max_util() == 0.25
+        for bad in ("zero", "0", "1.5", "-0.1"):
+            monkeypatch.setenv(ANALYTIC_UTIL_ENV, bad)
+            with pytest.raises(ValueError):
+                prune_max_util()
+
+
+class TestScreen:
+    def test_default_bound_prunes_the_paper_grid(self, monkeypatch):
+        """Every cell of the paper's grid sits well below half the
+        bottleneck link's capacity, so the default policy prunes all of
+        them (the ISSUE's >= 2x sweep speedup follows directly)."""
+        monkeypatch.delenv(ANALYTIC_UTIL_ENV, raising=False)
+        from repro.workloads.profiles import WORKLOAD_NAMES
+
+        for workload in WORKLOAD_NAMES:
+            for kind in ALL_KINDS:
+                decision = screen_cell(workload, kind)
+                assert decision.prune, (workload, kind)
+                assert decision.reason == "deep-unsaturated"
+
+    def test_tightened_bound_forces_partial_prune(self, monkeypatch):
+        monkeypatch.setenv(ANALYTIC_UTIL_ENV, "0.24")
+        verdicts = {
+            kind: screen_cell("Data Serving", kind)
+            for kind in ALL_KINDS
+        }
+        assert verdicts[NocKind.MESH].prune
+        assert verdicts[NocKind.SMART].prune
+        assert not verdicts[NocKind.MESH_PRA].prune
+        assert verdicts[NocKind.MESH_PRA].reason == "contested"
+        assert not verdicts[NocKind.IDEAL].prune
+
+    def test_sample_carries_the_analytic_mark(self):
+        decision = screen_cell("Web Search", NocKind.MESH)
+        sample = decision.sample(900)
+        assert sample.analytic
+        assert sample.cycles == 900
+
+
+class TestGridStoreKey:
+    """Satellite regression: the in-process grid cache must key on the
+    attached store — two sweeps against different stores are different
+    computations (the old cache returned store A's grid to store B)."""
+
+    def test_cache_distinguishes_stores(self, tmp_path):
+        clear_grid_cache()
+        cells = (("Web Search",), (NocKind.MESH,))
+        store_a = CellStore(str(tmp_path / "a"))
+        store_b = CellStore(str(tmp_path / "b"))
+        grid_a = evaluation_grid(*cells, TINY, store=store_a)
+        grid_a_again = evaluation_grid(*cells, TINY, store=store_a)
+        assert grid_a_again is grid_a
+        grid_b = evaluation_grid(*cells, TINY, store=store_b)
+        assert grid_b is not grid_a
+        assert len(store_b) == 1  # B really ran and persisted its cell
+        grid_none = evaluation_grid(*cells, TINY, store=None)
+        assert grid_none is not grid_a
+        assert grid_none is not grid_b
+        clear_grid_cache()
+
+    def test_cache_distinguishes_analytic_modes(self):
+        clear_grid_cache()
+        cells = (("Web Search",), (NocKind.MESH,))
+        pruned = evaluation_grid(*cells, TINY, store=None,
+                                 analytic="prune")
+        full = evaluation_grid(*cells, TINY, store=None, analytic="off")
+        assert pruned is not full
+        assert pruned[("Web Search", NocKind.MESH)].analytic
+        assert not full[("Web Search", NocKind.MESH)].analytic
+        clear_grid_cache()
+
+
+class TestPrunedGrid:
+    def test_pruned_sweep_counts_and_skips_the_store(self, tmp_path):
+        clear_grid_cache()
+        a0 = grid_stats.analytic_cells
+        s0 = grid_stats.simulated_cells
+        store = CellStore(str(tmp_path / "cells"))
+        grid = evaluation_grid(("Web Search", "Data Serving"), ALL_KINDS,
+                               TINY, store=store, analytic="prune")
+        assert len(grid) == 8
+        assert all(sample.analytic for sample in grid.values())
+        assert grid_stats.analytic_cells - a0 == 8
+        assert grid_stats.simulated_cells - s0 == 0
+        # Model samples must never be persisted as simulation results.
+        assert len(store) == 0
+        summary = grid_stats.summary()
+        assert summary["analytic_cells"] >= 8
+        clear_grid_cache()
+
+    def test_partial_prune_reproduces_simulated_cells_bitwise(
+            self, tmp_path, monkeypatch):
+        """The acceptance bit-identity: cells the screen does NOT prune
+        must come out of a pruned sweep byte-for-byte equal to the same
+        cells of an unpruned sweep."""
+        clear_grid_cache()
+        monkeypatch.setenv(ANALYTIC_UTIL_ENV, "0.24")
+        cells = (("Data Serving",), ALL_KINDS)
+        full = evaluation_grid(*cells, TINY, store=None, analytic="off")
+        pruned = evaluation_grid(*cells, TINY, store=None,
+                                 analytic="prune")
+        expected_analytic = {NocKind.MESH, NocKind.SMART}
+        for kind in ALL_KINDS:
+            sample = pruned[("Data Serving", kind)]
+            assert sample.analytic == (kind in expected_analytic)
+            if not sample.analytic:
+                reference = full[("Data Serving", kind)]
+                assert sample.to_state() == reference.to_state()
+        clear_grid_cache()
+
+    def test_summary_omits_counters_when_unused(self):
+        from repro.noc.stats import NetworkStats
+
+        assert "analytic_cells" not in NetworkStats().summary()
+
+
+class TestBaselineGuard:
+    """Satellite regression: normalizing to a missing mesh baseline
+    must fail loudly at the figure, not as a KeyError deep inside."""
+
+    def test_missing_mesh_cell_raises_clear_error(self):
+        from repro.harness.figures import _normalized_performance
+
+        clear_grid_cache()
+        with pytest.raises(RuntimeError, match="mesh baseline"):
+            _normalized_performance(
+                ("Web Search",), (NocKind.IDEAL,), TINY,
+            )
+        clear_grid_cache()
+
+
+class TestValidationReport:
+    def _entry(self, lat_err=0.0, ipc_err=0.0):
+        return CellValidation(
+            workload="Web Search", kind=NocKind.MESH,
+            simulated_latency=20.0,
+            predicted_latency=20.0 * (1 + lat_err),
+            simulated_ipc=30.0, predicted_ipc=30.0 * (1 + ipc_err),
+        )
+
+    def test_errors_and_verdict(self):
+        good = ValidationReport(entries=(
+            self._entry(0.01), self._entry(0.05, 0.02),
+        ))
+        assert good.ok
+        assert good.max_latency_error == pytest.approx(0.05)
+        assert good.worst.latency_error == pytest.approx(0.05)
+        bad = ValidationReport(entries=(
+            self._entry(LATENCY_ERROR_MARGIN + 0.01),
+        ))
+        assert not bad.ok
+
+    def test_empty_report_passes(self):
+        report = ValidationReport(entries=())
+        assert report.ok
+        assert report.max_latency_error == 0.0
+        assert report.worst is None
+
+    def test_zero_reference_guard(self):
+        entry = CellValidation(
+            workload="w", kind=NocKind.MESH,
+            simulated_latency=0.0, predicted_latency=5.0,
+            simulated_ipc=0.0, predicted_ipc=5.0,
+        )
+        assert entry.latency_error == 0.0
+        assert entry.ipc_error == 0.0
+
+
+class TestSaturation:
+    def test_warm_search_on_a_small_mesh(self):
+        params = NocParams(kind=NocKind.MESH, mesh_width=4, mesh_height=4)
+        result = find_saturation(
+            NocKind.MESH, params=params, cycles=400, tolerance=0.02,
+        )
+        lo, hi = result.bracket
+        assert 0.0 < result.measured <= 1.0
+        assert lo <= result.measured <= hi
+        assert hi - lo <= 0.02
+        assert result.model_estimate > 0.0
+        assert result.simulated_points == len(result.points) > 0
+        assert result.warm
+        # The knee sits below the pure link-capacity bound.
+        assert result.measured <= result.model_estimate
+
+    def test_cold_search_agrees(self):
+        params = NocParams(kind=NocKind.MESH, mesh_width=4, mesh_height=4)
+        warm = find_saturation(NocKind.MESH, params=params, cycles=400,
+                               tolerance=0.02)
+        cold = find_saturation(NocKind.MESH, params=params, cycles=400,
+                               tolerance=0.02, warm=False)
+        # Identical probes, identical classifier: the two searches must
+        # land in overlapping brackets.
+        assert abs(warm.measured - cold.measured) <= 0.04
+        assert not cold.warm
+
+
+def teardown_module() -> None:
+    clear_prediction_cache()
+    clear_grid_cache()
