@@ -43,7 +43,9 @@ from repro.analytic.validate import (
     IPC_ERROR_MARGIN,
     LATENCY_ERROR_MARGIN,
     CellValidation,
+    ChipletValidation,
     ValidationReport,
+    validate_chiplet,
     validate_grid,
 )
 
@@ -51,6 +53,7 @@ __all__ = [
     "ANALYTIC_ENV",
     "CellPrediction",
     "CellValidation",
+    "ChipletValidation",
     "FULL_SYSTEM_MIX",
     "IPC_ERROR_MARGIN",
     "LATENCY_ERROR_MARGIN",
@@ -69,6 +72,7 @@ __all__ = [
     "screen_cell",
     "synthetic_mix",
     "traffic_geometry",
+    "validate_chiplet",
     "validate_grid",
     "zero_load_latency",
 ]

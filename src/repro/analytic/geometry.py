@@ -41,8 +41,12 @@ class TrafficGeometry:
     #: on an 8x8 mesh redraws the source 1/64th of the time, transpose
     #: drops the diagonal, and so on.
     inject_ratio: float
-    #: E[Manhattan hops].
+    #: E[Manhattan hops] (route hops on non-mesh topologies).
     e_hops: float
+    #: E[sum of per-hop link latencies along the route] — 2 cycles per
+    #: hop on the mesh; chiplet interposer crossings cost their
+    #: configured latency.  The mesh-kind zero-load law consumes this.
+    e_lat_hops: float
     #: E[ceil(hops / 2)] — the ideal network's 2-hops-per-cycle rule.
     e_ceil_half_hops: float
     #: E[ceil(|dx|/2) + ceil(|dy|/2)] — SMART's straight-segment count.
@@ -164,6 +168,7 @@ def traffic_geometry(
         height=height,
         inject_ratio=total,
         e_hops=e_hops,
+        e_lat_hops=2.0 * e_hops,
         e_ceil_half_hops=e_half,
         e_segments=e_seg,
         e_pra_hops=e_pra,
@@ -175,6 +180,7 @@ def traffic_geometry(
 def clear_geometry_cache() -> None:
     """Drop memoized geometries (tests poking at cache behavior)."""
     traffic_geometry.cache_clear()
+    topology_geometry.cache_clear()
 
 
 def pra_overflow_hops(reservation_horizon: int, max_lag: int) -> int:
@@ -184,11 +190,106 @@ def pra_overflow_hops(reservation_horizon: int, max_lag: int) -> int:
     return max(1, reservation_horizon - max_lag)
 
 
+def _topology_destination_probs(topo, pattern, src, hotspot_nodes):
+    """P(dst | src draws) on an arbitrary topology graph, mirroring
+    :meth:`repro.workloads.synthetic.SyntheticTraffic._destination`."""
+    limit = topo.num_endpoints
+    if pattern in (TrafficPattern.UNIFORM_RANDOM,
+                   TrafficPattern.REQUEST_REPLY):
+        return {d: 1.0 / limit for d in range(limit)}
+    if pattern is TrafficPattern.TRANSPOSE:
+        x, y = topo.coords(src)
+        if x >= topo.height or y >= topo.width:
+            return {}
+        return {topo.node_at(y, x): 1.0}
+    if pattern is TrafficPattern.HOTSPOT:
+        probs = {d: 0.5 / limit for d in range(limit)}
+        for hot in hotspot_nodes:
+            probs[hot] = probs.get(hot, 0.0) + 0.5 / len(hotspot_nodes)
+        return probs
+    if pattern is TrafficPattern.NEIGHBOR:
+        neighbors = [n for _, n in topo.neighbors(src) if n < limit]
+        return {d: 1.0 / len(neighbors) for d in neighbors}
+    raise ValueError(f"unhandled pattern {pattern}")
+
+
+@lru_cache(maxsize=32)
+def topology_geometry(
+    topology: str,
+    width: int,
+    height: int,
+    pattern: TrafficPattern = TrafficPattern.UNIFORM_RANDOM,
+    hotspot_nodes: Tuple[int, ...] = (0,),
+) -> TrafficGeometry:
+    """Geometry by route enumeration over an arbitrary topology graph.
+
+    Uses ``topology.route`` for hop counts and directed-link loads and
+    ``topology.link_latency`` for the per-hop cost, so hierarchical
+    chiplet routes (intra-mesh -> gateway -> interposer -> intra-mesh)
+    land on exactly the links the simulator loads.  Segment/PRA
+    aggregates reuse the hop count (SMART and PRA do not build on
+    non-mesh topologies, so those fields are never consumed).
+    """
+    from repro.noc.topology import parse_topology_spec, topology_from_spec
+
+    topo = topology_from_spec(parse_topology_spec(topology), width, height)
+    limit = topo.num_endpoints
+    weights: Dict[Tuple[int, int], float] = {}
+    for src in range(limit):
+        for dst, p in _topology_destination_probs(
+            topo, pattern, src, hotspot_nodes
+        ).items():
+            if dst == src or p <= 0.0:
+                continue
+            key = (src, dst)
+            weights[key] = weights.get(key, 0.0) + p / limit
+    total = sum(weights.values())
+    if total <= 0.0:
+        raise ValueError(
+            f"pattern {pattern.value} injects no packets on "
+            f"topology {topology}"
+        )
+    e_hops = e_lat = e_half = 0.0
+    link_load: Dict[Tuple[int, object], float] = {}
+    for (src, dst), weight in weights.items():
+        p = weight / total
+        route = topo.route(src, dst)[:-1]  # drop the ejection hop
+        hops = len(route)
+        lat = sum(topo.link_latency(node, port) for node, port in route)
+        e_hops += p * hops
+        e_lat += p * lat
+        e_half += p * ceil(hops / 2)
+        for link in route:
+            link_load[link] = link_load.get(link, 0.0) + p
+    coeffs = tuple(sorted(link_load.values(), reverse=True))
+    return TrafficGeometry(
+        width=width,
+        height=height,
+        inject_ratio=total,
+        e_hops=e_hops,
+        e_lat_hops=e_lat,
+        e_ceil_half_hops=e_half,
+        e_segments=e_hops,
+        e_pra_hops=e_hops,
+        link_coeffs=coeffs,
+        max_link_coeff=coeffs[0],
+    )
+
+
 def geometry_for(
     params, pattern: TrafficPattern = TrafficPattern.UNIFORM_RANDOM,
     hotspot_nodes: Optional[Tuple[int, ...]] = None,
 ) -> TrafficGeometry:
     """Geometry for a :class:`~repro.params.NocParams` configuration."""
+    topology = getattr(params, "topology", "mesh")
+    if topology != "mesh":
+        return topology_geometry(
+            topology,
+            params.mesh_width,
+            params.mesh_height,
+            pattern,
+            tuple(hotspot_nodes) if hotspot_nodes else (0,),
+        )
     return traffic_geometry(
         params.mesh_width,
         params.mesh_height,

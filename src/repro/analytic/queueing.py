@@ -137,7 +137,10 @@ def _zero_load_mean(
         return 3 * geom.e_segments + 4 + (size - 1)
     if kind is NocKind.MESH_PRA and announced:
         return geom.e_pra_hops + 7.0
-    return 2 * geom.e_hops + 3 + (size - 1)
+    # Mesh law, generalized: each hop costs its link latency (2 on the
+    # mesh — identical to the historical 2*e_hops — and the configured
+    # interposer latency on chiplet crossings).
+    return geom.e_lat_hops + 3 + (size - 1)
 
 
 @dataclass(frozen=True)

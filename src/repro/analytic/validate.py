@@ -81,6 +81,64 @@ class ValidationReport:
                 and self.max_ipc_error <= self.ipc_margin)
 
 
+@dataclass(frozen=True)
+class ChipletValidation:
+    """One chiplet topology/kind cell: model vs a synthetic sim."""
+
+    topology: str
+    kind: NocKind
+    simulated_latency: float
+    predicted_latency: float
+
+    @property
+    def latency_error(self) -> float:
+        if not self.simulated_latency:
+            return 0.0
+        return abs(self.predicted_latency - self.simulated_latency) \
+            / self.simulated_latency
+
+
+def validate_chiplet(
+    specs: Tuple[str, ...] = ("chiplet:2x2x4x4", "chiplet:2x2x4x4:star"),
+    rate: float = 0.005,
+    cycles: int = 2000,
+    seed: int = 5,
+) -> Tuple[ChipletValidation, ...]:
+    """Check the hierarchical zero-load laws against the simulator.
+
+    Runs each chiplet spec at a deep-unsaturated rate under the mesh
+    and ideal organizations and compares mean network latency against
+    :func:`repro.analytic.queueing.predict_network` on the
+    route-enumerated chiplet geometry.  Entries are judged against
+    :data:`LATENCY_ERROR_MARGIN` like the grid cells.
+    """
+    from repro.analytic.queueing import predict_network, synthetic_mix
+    from repro.noc.network import build_network
+    from repro.params import NocParams
+    from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+    entries = []
+    for spec in specs:
+        for kind in (NocKind.MESH, NocKind.IDEAL):
+            params = NocParams(kind=kind, topology=spec)
+            net = build_network(params)
+            traffic = SyntheticTraffic(
+                net, TrafficPattern.UNIFORM_RANDOM, rate, seed=seed
+            )
+            traffic.run(cycles)
+            net.drain()
+            sim = net.stats.summary()["avg_network_latency"]
+            pred = predict_network(
+                kind, rate, synthetic_mix(TrafficPattern.UNIFORM_RANDOM),
+                params=params,
+            ).latency
+            entries.append(ChipletValidation(
+                topology=spec, kind=kind,
+                simulated_latency=sim, predicted_latency=pred,
+            ))
+    return tuple(entries)
+
+
 def validate_grid(
     scale=None,
     workloads: Optional[Iterable[str]] = None,

@@ -39,13 +39,13 @@ from repro.core.plan import PraPlan
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
 from repro.noc.ports import OutputPort
-from repro.noc.topology import Direction
+from repro.noc.topology import Direction, as_port
 from repro.params import MessageClass
 from repro.tile.llc import Transaction
 
 #: Bumped whenever a change invalidates previously written snapshots or
 #: persisted evaluation-grid cells.
-CODE_VERSION = "1"
+CODE_VERSION = "2"
 
 _SCALARS = (bool, int, float, str)
 
@@ -267,7 +267,7 @@ class RestoreContext:
     def port(self, ref: list) -> OutputPort:
         if ref[0] == "nip":
             return self.network.interfaces[ref[1]].port
-        return self.network.routers[ref[1]].output_ports[Direction(ref[2])]
+        return self.network.routers[ref[1]].output_ports[as_port(ref[2])]
 
     def callback(self, ref: list) -> Callable:
         _, key, name = ref
@@ -285,7 +285,7 @@ class RestoreContext:
         if tag == "v":
             return value[1]
         if tag == "dir":
-            return Direction(value[1])
+            return as_port(value[1])
         if tag == "mc":
             return MessageClass(value[1])
         if tag == "pkt":

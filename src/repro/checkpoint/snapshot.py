@@ -107,11 +107,13 @@ def _register_system_owners(ctx, sim) -> None:
 
 
 def _network_class(network: Network) -> str:
-    from repro.noc.ring import RingNetwork
-
-    if isinstance(network, RingNetwork):
-        return "ring"
-    return network.params.kind.value
+    """Label recorded for humans inspecting snapshots; restore goes
+    through ``build_network``, which dispatches on the saved params
+    (``kind`` plus the ``topology`` spec) alone."""
+    topo = network.params.topology
+    if topo == "mesh":
+        return network.params.kind.value
+    return f"{network.params.kind.value}@{topo.split(':', 1)[0]}"
 
 
 # -- network snapshots -----------------------------------------------------
@@ -174,12 +176,7 @@ def restore_network(
     """
     _check_header(snap, "network")
     params = params_from_state(NocParams, snap["params"])
-    if snap["network_class"] == "ring":
-        from repro.noc.ring import RingNetwork
-
-        network: Network = RingNetwork(params)
-    else:
-        network = build_network(params)
+    network = build_network(params)
     ctx = RestoreContext(network, snap["registries"])
     _register_network_owners(ctx, network)
     ctx.materialize()

@@ -45,6 +45,7 @@ from typing import List, Optional
 from repro.params import NocKind
 from repro.harness import (
     analytic_validation,
+    chiplet_comparison,
     figure2,
     figure6,
     figure7,
@@ -69,6 +70,7 @@ _FIGURES = {
     "fig9": figure9,
     "power": power_analysis,
     "zeroload": lambda scale: zero_load_table(),
+    "chiplet": chiplet_comparison,
     "analytic": analytic_validation,
 }
 
@@ -113,6 +115,13 @@ def _add_time_skip_flag(p: argparse.ArgumentParser) -> None:
                         "every cycle (results are bit-identical either "
                         "way; this is a debugging escape hatch, also "
                         "available as REPRO_NO_TIME_SKIP=1)")
+
+
+def _add_topology_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", default="mesh", metavar="SPEC",
+                   help="topology spec: mesh (default), ring, or "
+                        "chiplet:CXxCYxWxH[:star][:ilat=N] "
+                        "(e.g. chiplet:2x2x4x4)")
 
 
 def _add_shards_flag(p: argparse.ArgumentParser) -> None:
@@ -359,8 +368,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
 
     pattern = TrafficPattern(args.pattern)
-    kinds = ([_NOC_KINDS[args.noc]] if args.noc
-             else list(NocKind))
+    topology = args.topology
+    if args.noc:
+        kinds = [_NOC_KINDS[args.noc]]
+    elif topology.startswith("chiplet"):
+        # Only the baseline and ideal organizations build on chiplet
+        # topologies; an explicit --noc outside that set still fails
+        # loudly in build_network.
+        kinds = [NocKind.MESH, NocKind.IDEAL]
+    elif topology == "ring":
+        kinds = [NocKind.MESH]
+    else:
+        kinds = list(NocKind)
     rates = [float(r) for r in args.rates.split(",")]
     width, height = args.mesh
     router = RouterParams()
@@ -374,7 +393,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for kind in kinds:
             net = build_network(NocParams(
                 kind=kind, mesh_width=width, mesh_height=height,
-                router=router,
+                topology=topology, router=router,
             ))
             SyntheticTraffic(net, pattern, rate, seed=args.seed).run(
                 args.cycles
@@ -384,7 +403,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_chaos_network(noc: str, width: int, height: int):
+def _build_chaos_network(noc: str, width: int, height: int,
+                         topology: str = "mesh"):
     """A network for the chaos harness; ``ring`` wraps the stop count."""
     from repro.noc.network import build_network
     from repro.noc.ring import build_ring
@@ -394,6 +414,7 @@ def _build_chaos_network(noc: str, width: int, height: int):
         return build_ring(width * height)
     return build_network(NocParams(
         kind=_NOC_KINDS[noc], mesh_width=width, mesh_height=height,
+        topology=topology,
     ))
 
 
@@ -403,7 +424,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
 
     width, height = args.mesh
-    net = _build_chaos_network(args.noc, width, height)
+    net = _build_chaos_network(args.noc, width, height, args.topology)
     num_nodes = net.topology.num_nodes
     schedule = FaultSchedule.random(
         args.fault_seed, num_nodes, args.cycles, intensity=args.intensity
@@ -495,7 +516,8 @@ def _cmd_saturate(args: argparse.Namespace) -> int:
 
     kind = _NOC_KINDS[args.noc]
     width, height = args.mesh
-    params = NocParams(kind=kind, mesh_width=width, mesh_height=height)
+    params = NocParams(kind=kind, mesh_width=width, mesh_height=height,
+                       topology=args.topology)
     hotspot = (
         tuple(int(n) for n in args.hotspot.split(","))
         if args.hotspot else None
@@ -670,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="WxH", help="mesh dimensions (default 8x8)")
     p.add_argument("--vcs", type=int, default=None,
                    help="virtual channels per port (default: per class)")
+    _add_topology_flag(p)
     _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -693,6 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-schedule seed")
     p.add_argument("--intensity", type=float, default=1.0,
                    help="fault-schedule intensity multiplier")
+    _add_topology_flag(p)
     _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_chaos)
 
@@ -749,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hotspot node ids for --pattern hotspot")
     p.add_argument("--verbose", action="store_true",
                    help="also print every probe point")
+    _add_topology_flag(p)
     _add_time_skip_flag(p)
     p.set_defaults(func=_cmd_saturate)
 

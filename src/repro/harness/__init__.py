@@ -15,6 +15,7 @@ the confidence intervals.
 from repro.harness.runner import EvaluationScale, get_scale, evaluation_grid
 from repro.harness.figures import (
     analytic_validation,
+    chiplet_comparison,
     figure2,
     figure6,
     figure7,
@@ -32,6 +33,7 @@ __all__ = [
     "get_scale",
     "evaluation_grid",
     "analytic_validation",
+    "chiplet_comparison",
     "figure2",
     "figure6",
     "figure7",

@@ -295,6 +295,105 @@ def zero_load_table(max_hops: int = 7) -> Dict:
     }
 
 
+#: Chiplet specs the chiplet figure evaluates against the flat mesh.
+CHIPLET_FIGURE_SPECS = ("mesh", "chiplet:2x2x4x4", "chiplet:2x2x4x4:star")
+
+
+def _modeled_pra_interposer(topology: str) -> float:
+    """Modeled announced-response latency over a chiplet hierarchy.
+
+    PRA is simulated only on the flat mesh; this projects its announced
+    law onto hierarchical routes as an ablation axis: pre-allocation
+    compresses each maximal straight intra-chiplet run to 2 tiles/cycle
+    (the mesh law's ``ceil(run/2)`` segments, turns break runs), while
+    interposer crossings stay wire-limited at their configured link
+    latency — pre-allocation removes router delay, not substrate wire
+    delay.  The constant 7-cycle envelope matches the mesh law.
+    """
+    from math import ceil
+
+    from repro.noc.topology import (Direction, parse_topology_spec,
+                                    topology_from_spec)
+
+    spec = parse_topology_spec(topology)
+    topo = topology_from_spec(spec, 8, 8)
+    limit = topo.num_endpoints
+    total = 0.0
+    pairs = 0
+    for src in range(limit):
+        for dst in range(limit):
+            if dst == src:
+                continue
+            lat = 0.0
+            run = 0
+            run_dir = None
+            for node, port in topo.route(src, dst)[:-1]:
+                if isinstance(port, Direction):
+                    if port is run_dir:
+                        run += 1
+                    else:
+                        lat += ceil(run / 2)
+                        run, run_dir = 1, port
+                else:
+                    lat += ceil(run / 2) + topo.link_latency(node, port)
+                    run, run_dir = 0, None
+            lat += ceil(run / 2)
+            total += lat + 7.0
+            pairs += 1
+    return total / pairs
+
+
+def chiplet_comparison(scale: Optional[EvaluationScale] = None) -> Dict:
+    """Chiplet hierarchies vs the flat mesh (``figures --only chiplet``).
+
+    Simulates the baseline and ideal organizations over each topology
+    at a deep-unsaturated rate, sets the analytic model's predictions
+    beside them, and adds two modeled ablation columns: the announced
+    PRA-over-interposer law (:func:`_modeled_pra_interposer`) and the
+    capacity bound of the bottleneck link (the gateway concentration
+    penalty made visible).
+    """
+    from repro.analytic.queueing import (predict_network, saturation_rate,
+                                         synthetic_mix)
+    from repro.noc.network import build_network
+    from repro.params import NocParams
+    from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+    rate = 0.005
+    cycles = 2000
+    mix = synthetic_mix(TrafficPattern.UNIFORM_RANDOM)
+    rows: List[List[object]] = []
+    for topology in CHIPLET_FIGURE_SPECS:
+        row: List[object] = [topology]
+        for kind in (NocKind.MESH, NocKind.IDEAL):
+            params = NocParams(kind=kind, topology=topology)
+            net = build_network(params)
+            SyntheticTraffic(
+                net, TrafficPattern.UNIFORM_RANDOM, rate, seed=5
+            ).run(cycles)
+            net.drain()
+            row.append(net.stats.summary()["avg_network_latency"])
+            row.append(predict_network(kind, rate, mix,
+                                       params=params).latency)
+        row.append(_modeled_pra_interposer(topology))
+        row.append(saturation_rate(
+            NocKind.MESH, mix, params=NocParams(topology=topology)
+        ))
+        rows.append(row)
+    return {
+        "title": (
+            "Chiplet topologies vs the flat mesh: simulated and modeled "
+            f"latency at rate {rate:g} (uniform random), the modeled "
+            "announced PRA-over-interposer law, and the capacity bound"
+        ),
+        "headers": [
+            "Topology", "SimMesh", "ModelMesh", "SimIdeal", "ModelIdeal",
+            "PRA0(model)", "SatRate",
+        ],
+        "rows": rows,
+    }
+
+
 def analytic_validation(scale: Optional[EvaluationScale] = None) -> Dict:
     """Model-vs-simulation error per grid cell (the pruning contract).
 
@@ -304,7 +403,8 @@ def analytic_validation(scale: Optional[EvaluationScale] = None) -> Dict:
     ``REPRO_ANALYTIC=prune``); ``--only analytic`` or ``python -m repro
     analytic --validate`` requests it explicitly.
     """
-    from repro.analytic import validate_grid
+    from repro.analytic import (LATENCY_ERROR_MARGIN, validate_chiplet,
+                                validate_grid)
 
     report = validate_grid(scale)
     rows: List[List[object]] = [
@@ -318,11 +418,27 @@ def analytic_validation(scale: Optional[EvaluationScale] = None) -> Dict:
         ]
         for entry in report.entries
     ]
+    # Chiplet topologies have no full-system grid cells; the
+    # hierarchical zero-load laws are validated on low-rate synthetic
+    # traffic against the same latency margin.
+    chiplet_entries = validate_chiplet()
+    for entry in chiplet_entries:
+        rows.append([
+            f"synthetic {entry.topology}",
+            _KIND_LABEL[entry.kind],
+            entry.simulated_latency,
+            entry.predicted_latency,
+            entry.latency_error,
+            0.0,
+        ])
+    chiplet_ok = all(
+        e.latency_error <= LATENCY_ERROR_MARGIN for e in chiplet_entries
+    )
     rows.append([
         "Max", "", "", "",
         report.max_latency_error, report.max_ipc_error,
     ])
-    verdict = "PASS" if report.ok else "FAIL"
+    verdict = "PASS" if report.ok and chiplet_ok else "FAIL"
     return {
         "title": (
             "Analytic model validation: per-cell relative error vs. the "
@@ -335,7 +451,8 @@ def analytic_validation(scale: Optional[EvaluationScale] = None) -> Dict:
         ],
         "rows": rows,
         "report": report,
-        "ok": report.ok,
+        "chiplet_entries": chiplet_entries,
+        "ok": report.ok and chiplet_ok,
     }
 
 

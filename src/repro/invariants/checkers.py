@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.noc.network import _ARRIVAL, _CREDIT, _EJECT
+from repro.noc.topology import port_name
 
 #: Cap on per-violation detail lists (wait graphs on big meshes).
 _DETAIL_CAP = 64
@@ -95,7 +96,7 @@ def wait_graph(net, now: int) -> Dict[str, Any]:
                     continue
                 pkt = front.packet
                 where = (f"router {router.node} in "
-                         f"{unit.direction.name}/vc{vc.index}")
+                         f"{port_name(unit.direction)}/vc{vc.index}")
                 if not front.is_head:
                     blocked.append({"pid": pkt.pid, "node": router.node,
                                     "where": where, "reason": "mid_stream"})
@@ -119,12 +120,12 @@ def wait_graph(net, now: int) -> Dict[str, Any]:
                     reason = "arbitration"
                 blocked.append({"pid": pkt.pid, "node": router.node,
                                 "where": where, "reason": reason,
-                                "wants": direction.name})
+                                "wants": port_name(direction)})
         for direction, latch in getattr(router, "_latches", {}).items():
             for flit in latch:
                 blocked.append({
                     "pid": flit.packet.pid, "node": router.node,
-                    "where": f"router {router.node} latch {direction.name}",
+                    "where": f"router {router.node} latch {port_name(direction)}",
                     "reason": "latched",
                 })
     for ni in interfaces:
@@ -359,7 +360,7 @@ class InvariantSuite:
                         self._fail(
                             "vc_state", now,
                             f"VC over capacity at router {router.node} "
-                            f"{unit.direction.name}/vc{vc.index}: "
+                            f"{port_name(unit.direction)}/vc{vc.index}: "
                             f"{occ}/{vc.capacity}",
                         )
                     pids = {f.packet.pid for f in vc.flits}
@@ -367,7 +368,7 @@ class InvariantSuite:
                         self._fail(
                             "vc_state", now,
                             f"interleaved packets in one VC at router "
-                            f"{router.node} {unit.direction.name}"
+                            f"{router.node} {port_name(unit.direction)}"
                             f"/vc{vc.index}: pids {sorted(pids)}",
                         )
                     count += occ
@@ -473,7 +474,7 @@ class InvariantSuite:
             for port in router.output_ports.values():
                 check_port(
                     port,
-                    f"router {router.node} port {port.direction.name}",
+                    f"router {router.node} port {port_name(port.direction)}",
                 )
         for ni in interfaces:
             port = getattr(ni, "port", None)
@@ -494,7 +495,7 @@ class InvariantSuite:
                             "reservation_leak", now,
                             f"live reservation for packet "
                             f"{entry.plan.packet.pid} at router "
-                            f"{router.node} port {port.direction.name} "
+                            f"{router.node} port {port_name(port.direction)} "
                             f"was never executed (slot {slot} < {now})",
                         )
             for name in ("_latch_claims", "_input_claims"):
@@ -524,7 +525,7 @@ class InvariantSuite:
                         self._fail(
                             "buffer_claim_orphan", now,
                             f"{reserved} buffer credits reserved at router "
-                            f"{router.node} port {port.direction.name} "
+                            f"{router.node} port {port_name(port.direction)} "
                             f"vc{vc_index} with no live claiming plan",
                         )
 

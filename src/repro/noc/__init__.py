@@ -13,24 +13,52 @@ three realistic organizations share this substrate:
   proactive resource allocation (lives in :mod:`repro.core`).
 
 The hypothetical zero-router-delay network is :mod:`repro.noc.ideal`.
+All of them run over a composable topology graph
+(:mod:`repro.noc.topology`): the flat mesh, the background-section
+ring, and chiplet + interposer hierarchies
+(``--topology chiplet:2x2x4x4[:star][:ilat=N]``).
 """
 
 from repro.noc.flit import Flit, FlitType
 from repro.noc.packet import Packet
-from repro.noc.topology import Direction, MeshTopology
+from repro.noc.topology import (
+    ChipletTopology,
+    Direction,
+    MeshTopology,
+    RingTopology,
+    Topology,
+    TopologySpec,
+    as_port,
+    build_topology,
+    parse_topology_spec,
+    port_name,
+    topology_from_spec,
+)
 from repro.noc.routing import xy_route, xy_next_direction
 from repro.noc.stats import NetworkStats
 from repro.noc.network import Network, build_network
 from repro.noc.ring import RingNetwork, build_ring
+from repro.noc.chiplet import ChipletNetwork, build_chiplet
 
 __all__ = [
     "RingNetwork",
     "build_ring",
+    "ChipletNetwork",
+    "build_chiplet",
     "Flit",
     "FlitType",
     "Packet",
     "Direction",
+    "Topology",
+    "TopologySpec",
     "MeshTopology",
+    "RingTopology",
+    "ChipletTopology",
+    "as_port",
+    "port_name",
+    "parse_topology_spec",
+    "topology_from_spec",
+    "build_topology",
     "xy_route",
     "xy_next_direction",
     "NetworkStats",

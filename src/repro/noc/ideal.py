@@ -23,8 +23,7 @@ from typing import Deque, Dict, List, Tuple
 
 from repro.noc.network import Network
 from repro.noc.packet import Packet
-from repro.noc.routing import xy_next_direction
-from repro.noc.topology import Direction
+from repro.noc.topology import Port, as_port
 from repro.params import NocParams
 
 
@@ -35,7 +34,7 @@ class IdealNetwork(Network):
         super().__init__(params)
         self.hops_per_cycle = params.ideal_hops_per_cycle
         #: busy-until (exclusive) per unidirectional link.
-        self._link_free_at: Dict[Tuple[int, Direction], int] = {}
+        self._link_free_at: Dict[Tuple[int, Port], int] = {}
         #: Waiting packets per node, FIFO.
         self._waiting: List[Deque[Packet]] = [
             deque() for _ in range(self.topology.num_nodes)
@@ -113,23 +112,22 @@ class IdealNetwork(Network):
         """Claim up to ``hops_per_cycle`` links; move if at least one."""
         window_end = now + packet.size
         topo = self.topology
-        dir_cache = topo._xy_dir_cache
-        neighbor_table = topo._neighbor_table
+        dir_cache = topo._dir_cache
         num_nodes = topo.num_nodes
         free_at = self._link_free_at
         dst = packet.dst
         hops = 0
         position = node
-        claimed: List[Tuple[int, Direction]] = []
+        claimed: List[Tuple[int, Port]] = []
         while hops < self.hops_per_cycle and position != dst:
             direction = dir_cache.get(position * num_nodes + dst)
             if direction is None:
-                direction = xy_next_direction(topo, position, dst)
+                direction = topo.route_port(position, dst)
             link = (position, direction)
             if free_at.get(link, 0) > now:
                 break
             claimed.append(link)
-            position = neighbor_table[position][direction]
+            position = topo.neighbor(position, direction)
             hops += 1
         if hops == 0:
             return False
@@ -143,9 +141,7 @@ class IdealNetwork(Network):
     def link_utilization(self) -> float:
         if self.cycle == 0:
             return 0.0
-        topo = self.topology
-        links = 2 * (topo.width * (topo.height - 1)
-                     + topo.height * (topo.width - 1))
+        links = 2 * len(self.topology.bidirectional_links())
         return self._link_flits / (links * self.cycle)
 
     def _finish(self, packet: Packet, head_arrival: int) -> None:
@@ -181,7 +177,7 @@ class IdealNetwork(Network):
     def load_state(self, state: dict, ctx) -> None:
         super().load_state(state, ctx)
         self._link_free_at = {
-            (node, Direction(direction)): until
+            (node, as_port(direction)): until
             for node, direction, until in state["link_free_at"]
         }
         self._waiting = [

@@ -84,7 +84,13 @@ class NetworkInterface:
         port = self.port
         packet = port.held_by
         assert packet is not None
-        if not port.has_credit_for(packet.vc_index):
+        # Check the credit pool of the VC the holder was actually
+        # granted (``held_dst_vc``), not ``packet.vc_index``: layered
+        # interfaces (ring datelines, chiplet escapes) remap the
+        # downstream VC at injection, and checking the wrong pool could
+        # transmit without credit mid-packet.  Identical for the base
+        # mesh, where the two always coincide.
+        if not port.has_credit_for(port.held_dst_vc):
             return
         flit = packet.flits[self._holder_next_flit]
         self._holder_next_flit += 1
@@ -103,17 +109,26 @@ class NetworkInterface:
             packet = queue[0]
             if not self._may_inject(packet, now):
                 continue
-            if not port.can_allocate_vc(packet):
+            if not port.can_allocate_vc(packet, self._injection_vc(packet)):
                 continue
             self._rr = (idx + 1) % NUM_MESSAGE_CLASSES
             self._start_injection(packet, now)
             return
 
+    def _injection_vc(self, packet: Packet) -> int:
+        """Hook: downstream VC index an injection targets (layered
+        interfaces remap message classes onto escape-layer VCs)."""
+        return packet.vc_index
+
+    def _prepare_injection(self, packet: Packet) -> None:
+        """Hook: per-packet setup right before injection starts."""
+
     def _start_injection(self, packet: Packet, now: int) -> None:
         port = self.port
-        downstream_vc = port.downstream_vc(packet.vc_index)
-        downstream_vc.allocated_to = packet
-        port.hold(packet, source_vc=None)
+        self._prepare_injection(packet)
+        dst_vc = self._injection_vc(packet)
+        port.downstream_vc(dst_vc).allocated_to = packet
+        port.hold(packet, source_vc=None, dst_vc=dst_vc)
         packet.injected = now
         self._trace_injection(packet, now)
         self._holder_next_flit = 0
@@ -171,3 +186,21 @@ class NetworkInterface:
 
     def __repr__(self) -> str:
         return f"NetworkInterface(node={self.node})"
+
+
+class LayeredInterface(NetworkInterface):
+    """NI for layered-VC networks (ring datelines, chiplet escapes).
+
+    Each message class owns ``vc_layers`` consecutive VCs; packets
+    always inject on layer 0 and the routers advance them to layer 1 at
+    the escape boundary (the ring dateline, or the first interposer
+    hop), which is what breaks the cyclic channel dependency.
+    """
+
+    vc_layers = 2
+
+    def _prepare_injection(self, packet: Packet) -> None:
+        packet.ring_layer = 0
+
+    def _injection_vc(self, packet: Packet) -> int:
+        return packet.msg_class.value * self.vc_layers

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional
 from repro.faults.injector import NULL_FAULTS
 from repro.noc.stats import NetworkStats
 from repro.noc.packet import Packet, packet_pool
-from repro.noc.topology import Direction, MeshTopology
+from repro.noc.topology import as_port, build_topology
 from repro.params import NocKind, NocParams
 from repro.trace.tracer import NULL_TRACER
 
@@ -73,7 +73,7 @@ class Network:
 
     def __init__(self, params: NocParams):
         self.params = params
-        self.topology = MeshTopology(params.mesh_width, params.mesh_height)
+        self.topology = build_topology(params)
         self.cycle = 0
         self.stats = NetworkStats()
         self.routers: List = []
@@ -436,7 +436,7 @@ class Network:
         tag = encoded[0]
         if tag == "a":
             return (_ARRIVAL, self.routers[encoded[1]],
-                    Direction(encoded[2]), encoded[3], ctx.flit(encoded[4]))
+                    as_port(encoded[2]), encoded[3], ctx.flit(encoded[4]))
         if tag == "e":
             return (_EJECT, self.interfaces[encoded[1]], ctx.flit(encoded[2]))
         if tag == "c":
@@ -490,8 +490,32 @@ class Network:
 
 
 def build_network(params: NocParams) -> Network:
-    """Instantiate the organization selected by ``params.kind``."""
+    """Instantiate the organization selected by ``params.kind`` on the
+    topology selected by ``params.topology``."""
     # Local imports avoid circular dependencies between organizations.
+    spec_kind = getattr(params, "topology", "mesh").split(":", 1)[0]
+    if spec_kind == "ring":
+        if params.kind is not NocKind.MESH:
+            raise ValueError(
+                f"ring topology only supports the baseline router "
+                f"(kind=mesh), not {params.kind.value}"
+            )
+        from repro.noc.ring import RingNetwork
+
+        return RingNetwork(params)
+    if spec_kind == "chiplet":
+        if params.kind is NocKind.MESH:
+            from repro.noc.chiplet import ChipletNetwork
+
+            return ChipletNetwork(params)
+        if params.kind is NocKind.IDEAL:
+            from repro.noc.ideal import IdealNetwork
+
+            return IdealNetwork(params)
+        raise ValueError(
+            f"chiplet topology supports kinds mesh and ideal, "
+            f"not {params.kind.value}"
+        )
     if params.kind is NocKind.MESH:
         from repro.noc.mesh import MeshNetwork
 

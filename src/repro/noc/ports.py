@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
-from repro.noc.topology import Direction
+from repro.noc.topology import Port, as_port, port_name
 from repro.noc.vc import InputUnit, VirtualChannel
 from repro.trace.events import EV_LINK
 
@@ -55,7 +55,7 @@ class OutputPort:
     def __init__(
         self,
         router: Optional["BaseRouter"],
-        direction: Direction,
+        direction: Port,
         network: "Network",
         num_vcs: int,
         vc_depth: int,
@@ -73,9 +73,9 @@ class OutputPort:
         #: port (then ``ni_sink`` is set instead).
         self.downstream_router: Optional["BaseRouter"] = None
         self.downstream_unit: Optional[InputUnit] = None
-        #: Entry direction at the downstream router (cached off the unit
+        #: Entry port at the downstream router (cached off the unit
         #: because every flit transmission reads it).
-        self.downstream_dir: Optional[Direction] = None
+        self.downstream_dir: Optional[Port] = None
         self.ni_sink = None
         self.credits: List[int] = [vc_depth] * num_vcs
         #: Buffer space currently promised to proactively allocated
@@ -99,7 +99,7 @@ class OutputPort:
 
     # -- wiring ---------------------------------------------------------
 
-    def connect(self, downstream_router: "BaseRouter", entry: Direction) -> None:
+    def connect(self, downstream_router: "BaseRouter", entry: Port) -> None:
         """Attach this port to the downstream router's input unit."""
         self.downstream_router = downstream_router
         unit = downstream_router.input_units[entry]
@@ -222,7 +222,7 @@ class OutputPort:
                 pid=flit.packet.pid,
                 node=self.router.node if self.router is not None
                 else flit.packet.src,
-                direction=self.direction.name,
+                direction=port_name(self.direction),
                 flit=flit.index,
                 ni=self.router is None,
             )
@@ -275,7 +275,7 @@ class OutputPort:
         else:
             if self.router is None:
                 raise ValueError("NI injection ports never hold a source VC")
-            unit = self.router.input_units[Direction(active_vc[0])]
+            unit = self.router.input_units[as_port(active_vc[0])]
             self.active_vc = unit.vcs[active_vc[1]]
         self.held_dst_vc = state["held_dst_vc"]
         self.holder_sent = state["holder_sent"]

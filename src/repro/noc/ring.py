@@ -8,26 +8,26 @@ baseline so the claim can be reproduced as an experiment
 (`benchmarks/test_background_ring_scaling.py`).
 
 Structure: N ring stops, each with a clockwise port, a counter-clockwise
-port, and the local NI port.  Packets take the shorter direction.
-Deadlock freedom on the wrap-around cycle uses the classic *dateline*
-scheme: each message class gets two VC layers; a packet starts in layer
-0 and switches to layer 1 when it crosses the dateline link (stop N-1 →
-stop 0 clockwise, or stop 0 → stop N-1 counter-clockwise), breaking the
-cyclic channel dependency.  Router timing matches the mesh's 1-stage
-speculative pipeline (2 cycles/hop at zero load).
+port, and the local NI port (:class:`repro.noc.topology.RingTopology`;
+the generic mesh wiring builds the wrap links from it).  Packets take
+the shorter direction.  Deadlock freedom on the wrap-around cycle uses
+the classic *dateline* scheme via the shared escape-layer machinery
+(:class:`repro.noc.router.LayeredVcRouter`): each message class gets two
+VC layers; a packet starts in layer 0 and switches to layer 1 when it
+crosses the dateline link (stop N-1 → stop 0 clockwise, or stop 0 →
+stop N-1 counter-clockwise), breaking the cyclic channel dependency.
+Router timing matches the mesh's 1-stage speculative pipeline (2
+cycles/hop at zero load).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from dataclasses import replace
 
-from repro.noc.interface import NetworkInterface
-from repro.noc.network import Network
-from repro.noc.packet import Packet
-from repro.noc.ports import OutputPort
-from repro.noc.router import MeshRouter
-from repro.noc.topology import Direction
-from repro.noc.vc import VirtualChannel
+from repro.noc.interface import LayeredInterface
+from repro.noc.mesh import MeshNetwork
+from repro.noc.router import LayeredVcRouter
+from repro.noc.topology import Direction, Port
 from repro.params import NocParams, NUM_MESSAGE_CLASSES
 
 #: Ring directions reuse the mesh port ids: EAST = clockwise,
@@ -39,121 +39,44 @@ COUNTER_CLOCKWISE = Direction.WEST
 RING_VC_LAYERS = 2
 
 
-class RingRouter(MeshRouter):
-    """One ring stop: clockwise, counter-clockwise, and local ports."""
+class RingRouter(LayeredVcRouter):
+    """One ring stop: clockwise, counter-clockwise, and local ports.
+
+    Routing (shorter direction, ties clockwise) comes from the
+    topology's routing law; this class only pins the dateline edges
+    that advance the escape layer.
+    """
+
+    vc_layers = RING_VC_LAYERS
 
     def __init__(self, node: int, network: "RingNetwork"):
-        # BaseRouter consults the mesh topology for port existence; the
-        # ring network passes a 1-row mesh and we rewire the wrap-around
-        # links afterwards, adding the missing edge ports.
         super().__init__(node, network)
-        self.ring_size = network.params.num_nodes
-        from repro.noc.vc import InputUnit
+        self.ring_size = self.topology.num_nodes
 
-        for direction in (CLOCKWISE, COUNTER_CLOCKWISE):
-            if direction not in self.input_units:
-                self.input_units[direction] = InputUnit(
-                    direction, self.num_vcs, self.vc_depth
-                )
-                self.output_ports[direction] = self._make_output_port(
-                    direction
-                )
-        self._unit_list = list(self.input_units.values())
-        self._rebuild_port_cache()
-
-    # -- routing -----------------------------------------------------------
-
-    def route_of(self, packet: Packet) -> Direction:
-        if packet.dst == self.node:
-            return Direction.LOCAL
-        forward = (packet.dst - self.node) % self.ring_size
-        backward = (self.node - packet.dst) % self.ring_size
-        return CLOCKWISE if forward <= backward else COUNTER_CLOCKWISE
-
-    # -- dateline VC selection ------------------------------------------------
-
-    def _dst_vc_for(self, packet: Packet, direction: Direction) -> int:
-        """Downstream VC: class layer 0 before the dateline, 1 after."""
-        layer = packet.ring_layer
-        if self._crosses_dateline(direction):
-            layer = 1
-        return packet.msg_class.value * RING_VC_LAYERS + layer
-
-    def _crosses_dateline(self, direction: Direction) -> bool:
+    def _advances_layer(self, direction: Port) -> bool:
         if direction is CLOCKWISE:
             return self.node == self.ring_size - 1
         if direction is COUNTER_CLOCKWISE:
             return self.node == 0
         return False
 
-    # -- grant override (layered VCs) -------------------------------------------
 
-    def _may_grant(self, port: OutputPort, packet: Packet, now: int) -> bool:
-        if port.is_ejection:
-            return True
-        return port.can_allocate_vc(
-            packet, self._dst_vc_for(packet, port.direction)
-        )
-
-    def _grant(
-        self,
-        port: OutputPort,
-        vc: VirtualChannel,
-        packet: Packet,
-        now: int,
-        used_inputs: Set[Direction],
-    ) -> None:
-        dst_vc: Optional[int] = None
-        if not port.is_ejection:
-            dst_vc = self._dst_vc_for(packet, port.direction)
-            port.downstream_vc(dst_vc).allocated_to = packet
-            if self._crosses_dateline(port.direction):
-                packet.ring_layer = 1
-        port.hold(packet, source_vc=vc, dst_vc=dst_vc)
-        used_inputs.add(vc.unit.direction)
-        flit = self._pop_and_send(port, vc, now)
-        if flit.is_tail:
-            port.release()
-
-
-class RingInterface(NetworkInterface):
+class RingInterface(LayeredInterface):
     """NI whose injection targets the layered ring VCs."""
 
-    def _start_injection(self, packet: Packet, now: int) -> None:
-        port = self.port
-        packet.ring_layer = 0
-        dst_vc = packet.msg_class.value * RING_VC_LAYERS
-        port.downstream_vc(dst_vc).allocated_to = packet
-        port.hold(packet, source_vc=None, dst_vc=dst_vc)
-        packet.injected = now
-        self._holder_next_flit = 0
-        self._continue_holder(now)
-
-    def _arbitrate(self, now: int) -> None:
-        from repro.params import NUM_MESSAGE_CLASSES
-
-        port = self.port
-        for offset in range(NUM_MESSAGE_CLASSES):
-            idx = (self._rr + offset) % NUM_MESSAGE_CLASSES
-            queue = self.queues[idx]
-            if not queue:
-                continue
-            packet = queue[0]
-            dst_vc = packet.msg_class.value * RING_VC_LAYERS
-            if not port.can_allocate_vc(packet, dst_vc):
-                continue
-            self._rr = (idx + 1) % NUM_MESSAGE_CLASSES
-            self._start_injection(packet, now)
-            return
+    vc_layers = RING_VC_LAYERS
 
 
-class RingNetwork(Network):
+class RingNetwork(MeshNetwork):
     """A bidirectional ring of ``num_stops`` tiles."""
 
-    def __init__(self, params: NocParams):
-        if params.router.vcs_per_port < NUM_MESSAGE_CLASSES * RING_VC_LAYERS:
-            from dataclasses import replace
+    router_class = RingRouter
+    interface_class = RingInterface
 
+    def __init__(self, params: NocParams):
+        if params.topology != "ring":
+            params = replace(params, topology="ring")
+        if params.router.vcs_per_port < NUM_MESSAGE_CLASSES * RING_VC_LAYERS:
             params = replace(
                 params,
                 router=replace(
@@ -162,26 +85,11 @@ class RingNetwork(Network):
                 ),
             )
         super().__init__(params)
-        num = params.num_nodes
-        self.routers = [RingRouter(node, self) for node in range(num)]
-        for node, router in enumerate(self.routers):
-            cw = self.routers[(node + 1) % num]
-            ccw = self.routers[(node - 1) % num]
-            router.output_ports[CLOCKWISE].connect(cw, COUNTER_CLOCKWISE)
-            router.output_ports[COUNTER_CLOCKWISE].connect(ccw, CLOCKWISE)
-        self.interfaces = [
-            RingInterface(node, self, self.routers[node])
-            for node in range(num)
-        ]
-        for router, ni in zip(self.routers, self.interfaces):
-            router.output_ports[Direction.LOCAL].connect_sink(ni)
 
 
 def build_ring(num_stops: int, flits_per_vc: int = 5) -> RingNetwork:
     """Convenience constructor: a ring of ``num_stops`` tiles."""
-    from dataclasses import replace
-
-    params = NocParams(mesh_width=num_stops, mesh_height=1)
+    params = NocParams(mesh_width=num_stops, mesh_height=1, topology="ring")
     params = replace(
         params,
         router=replace(

@@ -23,23 +23,13 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.noc.flit import Flit
 from repro.noc.packet import Packet
 from repro.noc.ports import OutputPort
-from repro.noc.routing import xy_next_direction
-from repro.noc.topology import CARDINALS, Direction
+from repro.noc.topology import Direction, Port, as_port, port_name
 from repro.noc.vc import InputUnit, VirtualChannel
 from repro.trace.events import (
     EV_SWITCH_GRANT,
     EV_SWITCH_HOLD,
     EV_SWITCH_RELEASE,
     EV_VC_ALLOC,
-)
-
-#: Fixed port processing order inside a cycle.
-PORT_ORDER = (
-    Direction.LOCAL,
-    Direction.NORTH,
-    Direction.EAST,
-    Direction.SOUTH,
-    Direction.WEST,
 )
 
 #: Cycles from a flit's dequeue to the upstream credit increment
@@ -60,29 +50,32 @@ class BaseRouter:
         params = network.params.router
         self.num_vcs = params.vcs_per_port
         self.vc_depth = params.flits_per_vc
-        self.input_units: Dict[Direction, InputUnit] = {}
-        self.output_ports: Dict[Direction, OutputPort] = {}
+        self.input_units: Dict[Port, InputUnit] = {}
+        self.output_ports: Dict[Port, OutputPort] = {}
         #: Flits currently buffered in this router (early-exit counter).
         self.active_flits = 0
-        #: Round-robin state per output direction: the (input direction,
-        #: vc index) key last granted, or None before the first grant.
+        #: Round-robin state per output port: the (input port, vc index)
+        #: key last granted, or None before the first grant.
         #: Advancing relative to the previous *grant* (instead of a
         #: monotonically increasing pointer indexed into a list whose
         #: membership changes every cycle) is what makes arbitration
         #: fair under churning candidate sets.
-        self._rr: Dict[Direction, Optional[Tuple[int, int]]] = {
-            d: None for d in PORT_ORDER
+        self._rr: Dict[Port, Optional[Tuple[int, int]]] = {
+            Direction.LOCAL: None
         }
 
         self.input_units[Direction.LOCAL] = InputUnit(
             Direction.LOCAL, self.num_vcs, self.vc_depth
         )
-        for direction in CARDINALS:
-            if self.topology.neighbor(node, direction) is not None:
-                self.input_units[direction] = InputUnit(
-                    direction, self.num_vcs, self.vc_depth
-                )
-                self.output_ports[direction] = self._make_output_port(direction)
+        # The topology's per-node port set decides this router's degree:
+        # 2 on a ring stop, up to 4 on a mesh tile, more on a chiplet
+        # gateway or an IO die.  Every listed port has a neighbor.
+        for port in self.topology.ports(node):
+            self.input_units[port] = InputUnit(
+                port, self.num_vcs, self.vc_depth
+            )
+            self.output_ports[port] = self._make_output_port(port)
+            self._rr[port] = None
         # Ejection port toward the NI (wired by the network).
         self.output_ports[Direction.LOCAL] = self._make_output_port(
             Direction.LOCAL
@@ -90,26 +83,28 @@ class BaseRouter:
         self._unit_list: List[InputUnit] = list(self.input_units.values())
         #: Direct handles into the topology's route memo (the candidate
         #: scan resolves a route per buffered head flit every cycle).
-        self._dir_cache = self.topology._xy_dir_cache
+        self._dir_cache = self.topology._dir_cache
         self._route_base = node * self.topology.num_nodes
         self._rebuild_port_cache()
 
     def _rebuild_port_cache(self) -> None:
         """Refresh cached port and VC lists (call after adding ports)."""
-        #: Cardinal (router-to-router) output ports, in PORT_ORDER.
+        order = (Direction.LOCAL,) + tuple(self.topology.ports(self.node))
+        #: Router-to-router output ports, in processing order.
         self.cardinal_ports: List[OutputPort] = [
-            self.output_ports[d] for d in CARDINALS if d in self.output_ports
+            self.output_ports[p] for p in order
+            if p is not Direction.LOCAL and p in self.output_ports
         ]
-        #: All output ports in fixed processing order.
+        #: All output ports in fixed processing order (LOCAL first).
         self.port_list: List[OutputPort] = [
-            self.output_ports[d] for d in PORT_ORDER if d in self.output_ports
+            self.output_ports[p] for p in order if p in self.output_ports
         ]
         #: Every input VC, flattened in fixed unit order (hot-scan list).
         self._vc_list: List[VirtualChannel] = [
             vc for unit in self._unit_list for vc in unit.vcs
         ]
 
-    def _make_output_port(self, direction: Direction) -> OutputPort:
+    def _make_output_port(self, direction: Port) -> OutputPort:
         return OutputPort(
             router=self,
             direction=direction,
@@ -120,7 +115,7 @@ class BaseRouter:
 
     # -- flit reception -----------------------------------------------------
 
-    def receive_flit(self, direction: Direction, vc_index: int, flit: Flit) -> None:
+    def receive_flit(self, direction: Port, vc_index: int, flit: Flit) -> None:
         self.input_units[direction].receive(flit, vc_index)
         self.active_flits += 1
         self.network.wake_router(self.node)
@@ -129,11 +124,11 @@ class BaseRouter:
         """Whether this router must be stepped again next cycle."""
         return self.active_flits > 0
 
-    def route_of(self, packet: Packet) -> Direction:
-        """Output direction the packet takes from this router."""
+    def route_of(self, packet: Packet) -> Port:
+        """Output port the packet takes from this router."""
         direction = self._dir_cache.get(self._route_base + packet.dst)
         if direction is None:
-            direction = xy_next_direction(self.topology, self.node, packet.dst)
+            direction = self.topology.route_port(self.node, packet.dst)
         return direction
 
     # -- per-cycle processing -----------------------------------------------
@@ -158,11 +153,11 @@ class BaseRouter:
         port.send(flit, now, charge_credit=charge_credit)
         return flit
 
-    def _collect_head_candidates(self) -> Dict[Direction, List[VirtualChannel]]:
+    def _collect_head_candidates(self) -> Dict[Port, List[VirtualChannel]]:
         """One pass over all input VCs: head flits grouped by the output
-        direction they request.  Built once per cycle and shared by all
+        port they request.  Built once per cycle and shared by all
         output ports (and by LSD in the PRA router)."""
-        candidates: Dict[Direction, List[VirtualChannel]] = {}
+        candidates: Dict[Port, List[VirtualChannel]] = {}
         dir_cache = self._dir_cache
         route_base = self._route_base
         for vc in self._vc_list:
@@ -183,7 +178,7 @@ class BaseRouter:
         return candidates
 
     def _head_candidates(
-        self, direction: Direction, used_inputs: Set[Direction]
+        self, direction: Port, used_inputs: Set[Port]
     ) -> List[VirtualChannel]:
         """Input VCs whose front flit is a head routed to ``direction``."""
         return [
@@ -193,7 +188,7 @@ class BaseRouter:
         ]
 
     def _round_robin_pick(
-        self, direction: Direction, candidates: List[VirtualChannel]
+        self, direction: Port, candidates: List[VirtualChannel]
     ) -> VirtualChannel:
         """Grant the first candidate strictly after the last grantee in
         cyclic (input direction, vc index) order.
@@ -236,16 +231,16 @@ class BaseRouter:
 
     def load_state(self, state: dict, ctx) -> None:
         for direction_value, vc_states in state["units"]:
-            unit = self.input_units[Direction(direction_value)]
+            unit = self.input_units[as_port(direction_value)]
             for vc, vc_state in zip(unit.vcs, vc_states):
                 vc.load_state(vc_state, ctx)
         for direction_value, port_state in state["ports"]:
-            self.output_ports[Direction(direction_value)].load_state(
+            self.output_ports[as_port(direction_value)].load_state(
                 port_state, ctx
             )
         self.active_flits = state["active_flits"]
         self._rr = {
-            Direction(direction_value):
+            as_port(direction_value):
                 tuple(key) if key is not None else None
             for direction_value, key in state["rr"]
         }
@@ -263,7 +258,7 @@ class MeshRouter(BaseRouter):
         faults = self.network.faults
         if faults.enabled and faults.router_stalled(self.node, now):
             return
-        used_inputs: Set[Direction] = set()
+        used_inputs: Set[Port] = set()
         candidates = self._collect_head_candidates()
         for port in self.port_list:
             if faults.enabled and port.fault_stalled(now):
@@ -279,7 +274,7 @@ class MeshRouter(BaseRouter):
     # -- switch traversal of an in-progress packet ---------------------------
 
     def _advance_held(
-        self, port: OutputPort, now: int, used_inputs: Set[Direction]
+        self, port: OutputPort, now: int, used_inputs: Set[Port]
     ) -> None:
         vc = port.active_vc
         if vc is None:
@@ -301,7 +296,8 @@ class MeshRouter(BaseRouter):
             tracer = self.network.tracer
             if tracer.enabled:
                 tracer.emit(now, EV_SWITCH_RELEASE, pid=flit.packet.pid,
-                            node=self.node, direction=port.direction.name)
+                            node=self.node,
+                            direction=port_name(port.direction))
 
     def _trace_hold(self, port: OutputPort, now: int, reason: str) -> None:
         """Record a held port that could not advance this cycle."""
@@ -311,15 +307,15 @@ class MeshRouter(BaseRouter):
                 now, EV_SWITCH_HOLD,
                 pid=port.held_by.pid if port.held_by is not None else None,
                 node=self.node,
-                direction=port.direction.name,
+                direction=port_name(port.direction),
                 reason=reason,
             )
 
     # -- head-flit allocation (RC + VA + speculative SA in one cycle) --------
 
     def _try_grant(
-        self, port: OutputPort, direction: Direction, now: int,
-        used_inputs: Set[Direction],
+        self, port: OutputPort, direction: Port, now: int,
+        used_inputs: Set[Port],
         candidates: Optional[List[VirtualChannel]] = None,
     ) -> None:
         if candidates is None:
@@ -350,7 +346,7 @@ class MeshRouter(BaseRouter):
         vc: VirtualChannel,
         packet: Packet,
         now: int,
-        used_inputs: Set[Direction],
+        used_inputs: Set[Port],
     ) -> None:
         tracer = self.network.tracer
         if not port.is_ejection:
@@ -363,17 +359,76 @@ class MeshRouter(BaseRouter):
                 boundary.note_grant(port, packet, now)
             if tracer.enabled:
                 tracer.emit(now, EV_VC_ALLOC, pid=packet.pid, node=self.node,
-                            direction=port.direction.name,
+                            direction=port_name(port.direction),
                             vc=packet.vc_index)
         port.hold(packet, source_vc=vc)
         if tracer.enabled:
             tracer.emit(now, EV_SWITCH_GRANT, pid=packet.pid, node=self.node,
-                        direction=port.direction.name,
-                        input=vc.unit.direction.name, input_vc=vc.index)
+                        direction=port_name(port.direction),
+                        input=port_name(vc.unit.direction),
+                        input_vc=vc.index)
         used_inputs.add(vc.unit.direction)
         flit = self._pop_and_send(port, vc, now)
         if flit.is_tail:
             port.release()
             if tracer.enabled:
                 tracer.emit(now, EV_SWITCH_RELEASE, pid=packet.pid,
-                            node=self.node, direction=port.direction.name)
+                            node=self.node,
+                            direction=port_name(port.direction))
+
+
+class LayeredVcRouter(MeshRouter):
+    """A mesh-pipelined router whose VCs are split into escape layers.
+
+    Per-class VCs subdivide into ``vc_layers`` layers; a packet starts
+    in layer 0 and is bumped to layer 1 the first time it crosses a
+    *layer-advancing* output port (:meth:`_advances_layer`) — the ring's
+    dateline link, or a chiplet's inter-chiplet link.  Choosing the
+    advancing edges so that each layer's channel graph is acyclic makes
+    the layered VC dependency graph acyclic, i.e. deadlock-free; the
+    deadlock watchdog verifies this at runtime.
+
+    The current layer rides on ``packet.ring_layer`` (named for its
+    first user; it is simply "escape layer").
+    """
+
+    #: VC layers per message class (downstream VC = class * layers + layer).
+    vc_layers = 2
+
+    def _advances_layer(self, direction: Port) -> bool:
+        """Does granting ``direction`` move the packet to layer 1?"""
+        raise NotImplementedError
+
+    def _dst_vc_for(self, packet: Packet, direction: Port) -> int:
+        """Downstream VC: the packet's class layer, escaped if needed."""
+        layer = packet.ring_layer
+        if self._advances_layer(direction):
+            layer = 1
+        return packet.msg_class.value * self.vc_layers + layer
+
+    def _may_grant(self, port: OutputPort, packet: Packet, now: int) -> bool:
+        if port.is_ejection:
+            return True
+        return port.can_allocate_vc(
+            packet, self._dst_vc_for(packet, port.direction)
+        )
+
+    def _grant(
+        self,
+        port: OutputPort,
+        vc: VirtualChannel,
+        packet: Packet,
+        now: int,
+        used_inputs: Set[Port],
+    ) -> None:
+        dst_vc: Optional[int] = None
+        if not port.is_ejection:
+            dst_vc = self._dst_vc_for(packet, port.direction)
+            port.downstream_vc(dst_vc).allocated_to = packet
+            if self._advances_layer(port.direction):
+                packet.ring_layer = 1
+        port.hold(packet, source_vc=vc, dst_vc=dst_vc)
+        used_inputs.add(vc.unit.direction)
+        flit = self._pop_and_send(port, vc, now)
+        if flit.is_tail:
+            port.release()

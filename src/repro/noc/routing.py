@@ -1,80 +1,49 @@
-"""Dimension-ordered (XY) routing.
+"""Source routing over topology graphs.
 
 XY routing is deadlock-free on a mesh and is what the paper's networks
 use; the control network additionally relies on the route being known at
-the source ("we know the whole path to the destination"), which XY
-provides.  Packets travel fully in X (east/west) first, then in Y.
+the source ("we know the whole path to the destination").  Since the
+topology refactor the routing *law* lives on the topology object
+(:meth:`repro.noc.topology.Topology.next_port`) — XY on meshes,
+shortest-direction on rings, hierarchical XY -> interposer -> XY on
+chiplets — and these helpers are thin memoized entry points kept for
+their call sites (the control network, SMART, the ideal fabric).
+
+Memoization is structurally per-topology-instance: the caches are
+attributes of the :class:`~repro.noc.topology.Topology` object and the
+keys are node-pair indices within *that* topology, so two live
+topologies — even of identical size — can never serve each other's
+cached routes.  This module holds no state.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from repro.noc.topology import Direction, MeshTopology
+from repro.noc.topology import Port, Topology
 
 
-def xy_next_direction(topo: MeshTopology, node: int, dst: int) -> Direction:
-    """Output direction a packet at ``node`` takes toward ``dst``.
+def xy_next_direction(topo: Topology, node: int, dst: int) -> Port:
+    """Output port a packet at ``node`` takes toward ``dst``.
 
     Returns ``Direction.LOCAL`` when the packet has arrived.  Results
     are memoized on the topology (this is the single hottest routing
-    query — every head-candidate scan calls it).
-    """
-    key = node * topo.num_nodes + dst
-    cache = topo._xy_dir_cache
-    hit = cache.get(key)
-    if hit is not None:
-        return hit
-    x, y = topo.coords(node)
-    dx, dy = topo.coords(dst)
-    if x < dx:
-        direction = Direction.EAST
-    elif x > dx:
-        direction = Direction.WEST
-    elif y < dy:
-        direction = Direction.SOUTH
-    elif y > dy:
-        direction = Direction.NORTH
-    else:
-        direction = Direction.LOCAL
-    cache[key] = direction
-    return direction
+    query — every head-candidate scan calls it)."""
+    return topo.route_port(node, dst)
 
 
-def xy_route(
-    topo: MeshTopology, src: int, dst: int
-) -> Tuple[Tuple[int, Direction], ...]:
-    """The full XY path as ``((node, out_direction), ...)``.
+def xy_route(topo: Topology, src: int, dst: int) -> Tuple[Tuple[int, Port], ...]:
+    """The full source route as ``((node, out_port), ...)``.
 
     The final element is ``(dst, Direction.LOCAL)`` (the ejection hop).
     This is the information a PRA control packet carries as its
     look-ahead routing field.  Routes are memoized per (src, dst) pair
-    and returned as shared immutable tuples.
-    """
-    key = src * topo.num_nodes + dst
-    cache = topo._xy_route_cache
-    hit = cache.get(key)
-    if hit is not None:
-        return hit
-    path = []
-    node = src
-    guard = topo.num_nodes + 1
-    for _ in range(guard):
-        direction = xy_next_direction(topo, node, dst)
-        path.append((node, direction))
-        if direction is Direction.LOCAL:
-            route = tuple(path)
-            cache[key] = route
-            return route
-        nxt = topo.neighbor(node, direction)
-        if nxt is None:  # pragma: no cover - XY never walks off the mesh
-            raise RuntimeError("XY route left the mesh")
-        node = nxt
-    raise RuntimeError("XY route failed to terminate")  # pragma: no cover
+    and returned as shared immutable tuples."""
+    return topo.route(src, dst)
 
 
-def turn_node(topo: MeshTopology, src: int, dst: int) -> int:
-    """The node where the XY route turns from X to Y travel.
+def turn_node(topo: Topology, src: int, dst: int) -> int:
+    """The node where a mesh XY route turns from X to Y travel.
 
     Equals ``dst`` for routes with no Y component and ``src`` for routes
     with no X component.  PRA's multi-drop segments cannot cross this

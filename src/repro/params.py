@@ -171,6 +171,13 @@ class NocParams:
     kind: NocKind = NocKind.MESH
     mesh_width: int = 8
     mesh_height: int = 8
+    #: Topology spec string: ``mesh`` (the grid above), ``ring``
+    #: (``mesh_width`` stops), or ``chiplet:CXxCYxWxH[:star][:ilat=N]``
+    #: (see :func:`repro.noc.topology.parse_topology_spec`).  For
+    #: chiplet specs the mesh dimensions are derived from the spec's
+    #: global tile grid, so ``num_nodes`` stays the endpoint count.
+    topology: str = "mesh"
+
     router: RouterParams = field(default_factory=RouterParams)
     pra: PraParams = field(default_factory=PraParams)
     smart: SmartParams = field(default_factory=SmartParams)
@@ -188,6 +195,20 @@ class NocParams:
                 f"ideal_hops_per_cycle must be positive, got "
                 f"{self.ideal_hops_per_cycle}"
             )
+        # Validate the spec eagerly (junk fails at construction, not
+        # deep inside network building) and derive the global grid for
+        # chiplet specs.  Lazy import: topology has no params dependency
+        # at import time, but keeping it out of module scope avoids any
+        # chance of a cycle.
+        from repro.noc.topology import parse_topology_spec
+
+        spec = parse_topology_spec(self.topology)
+        if spec.kind == "chiplet":
+            width = spec.chiplets_x * spec.chip_width
+            height = spec.chiplets_y * spec.chip_height
+            if (self.mesh_width, self.mesh_height) != (width, height):
+                object.__setattr__(self, "mesh_width", width)
+                object.__setattr__(self, "mesh_height", height)
 
     @property
     def num_nodes(self) -> int:

@@ -12,7 +12,7 @@ from repro.shard.engine import ShardResult, run_sharded, summary_digest
 from repro.shard.merge import merge_snapshots, merge_stats
 from repro.shard.spec import (GOLDEN_SPEC, SHARD_BENCH_SPEC, ShardError,
                               SyntheticSpec, WorkerFailure, plan_shards,
-                              shards_from_env)
+                              serial_fallback_reason, shards_from_env)
 
 __all__ = [
     "GOLDEN_SPEC",
@@ -25,6 +25,7 @@ __all__ = [
     "merge_stats",
     "plan_shards",
     "run_sharded",
+    "serial_fallback_reason",
     "shards_from_env",
     "summary_digest",
 ]

@@ -63,6 +63,8 @@ class SyntheticSpec:
     kind: NocKind = NocKind.MESH
     width: int = 8
     height: int = 8
+    #: Topology spec string (see :mod:`repro.noc.topology`).
+    topology: str = "mesh"
     pattern: TrafficPattern = TrafficPattern.UNIFORM_RANDOM
     rate: float = 0.02
     seed: int = 7
@@ -71,7 +73,7 @@ class SyntheticSpec:
 
     def params(self) -> NocParams:
         return NocParams(kind=self.kind, mesh_width=self.width,
-                         mesh_height=self.height)
+                         mesh_height=self.height, topology=self.topology)
 
     def build(self):
         """Fresh ``(network, traffic)`` pair for this scenario."""
@@ -107,13 +109,39 @@ def plan_shards(params: NocParams,
     if requested == 1:
         return 1, None
     if params.kind is not NocKind.MESH:
-        return 1, (f"{params.kind.value} makes non-local same-cycle "
-                   f"reads; only the baseline mesh shards")
+        return 1, serial_fallback_reason(
+            "kind", params.kind.value,
+            f"{params.kind.value} makes non-local same-cycle "
+            f"reads; only the baseline mesh shards")
+    topo_kind = params.topology.split(":", 1)[0]
+    if topo_kind == "ring":
+        return 1, serial_fallback_reason(
+            "topology", "ring",
+            "ring wrap links join the first and last row stripe, so no "
+            "row cut is conservative; ring runs are serial")
+    if topo_kind == "chiplet":
+        return 1, serial_fallback_reason(
+            "topology", "chiplet",
+            "row stripes would cut chiplet sub-meshes and split "
+            "gateway/interposer state across workers; chiplet runs "
+            "are serial")
     height = params.mesh_height
     if requested > height:
-        return height, (f"clamped to {height}: one row stripe per shard "
-                        f"is the finest cut of a height-{height} mesh")
+        return height, serial_fallback_reason(
+            "clamp", str(height),
+            f"clamped to {height}: one row stripe per shard "
+            f"is the finest cut of a height-{height} mesh")
     return requested, None
+
+
+def serial_fallback_reason(cause: str, value: str, detail: str) -> str:
+    """Structured fallback reason: ``[cause=value] detail``.
+
+    Every degraded plan (non-mesh kind, ring/chiplet topology, height
+    clamp) routes through this one formatter, so drivers and tests can
+    parse the cause tag without matching free-form prose.
+    """
+    return f"[{cause}={value}] {detail}"
 
 
 def shards_from_env(default: int = 1) -> int:

@@ -65,7 +65,10 @@ class SyntheticTraffic:
 
     def inject(self) -> None:
         """Inject this cycle's packets (without stepping the network)."""
-        num_nodes = self.network.topology.num_nodes
+        # Endpoints only: pure-routing nodes (a chiplet star's IO die)
+        # never source or sink traffic.  Equal to num_nodes everywhere
+        # else, so mesh/ring random streams are unchanged.
+        num_nodes = self.network.topology.num_endpoints
         for node in range(num_nodes):
             if self.rng.random() >= self.rate:
                 continue
@@ -110,7 +113,8 @@ class SyntheticTraffic:
             return self.rng.randrange(num_nodes)
         if self.pattern is TrafficPattern.NEIGHBOR:
             topo = self.network.topology
-            neighbors = [n for _, n in topo.neighbors(node)]
+            limit = topo.num_endpoints
+            neighbors = [n for _, n in topo.neighbors(node) if n < limit]
             return self.rng.choice(neighbors)
         raise ValueError(f"unhandled pattern {self.pattern}")
 

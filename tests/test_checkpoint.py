@@ -200,7 +200,7 @@ def test_snapshot_on_ring_topology():
                                seed=9)
     traffic.run(half)
     snap = _json_round_trip(snapshot_network(net, traffic))
-    assert snap["network_class"] == "ring"
+    assert snap["network_class"] == "mesh@ring"
     net2, traffic2 = restore_network(snap)
     assert _continue_and_digest(net2, traffic2, cycles - half) == straight
 
