@@ -23,6 +23,7 @@ from typing import Deque, Dict, Optional, Set, Tuple
 from repro.core.plan import LAND_LATCH, LAND_NI, LAND_VC, PraPlan, SRC_VC
 from repro.core.reservation import ReservationEntry, ReservationTable
 from repro.noc.flit import Flit
+from repro.noc.network import _CREDIT
 from repro.noc.packet import Packet
 from repro.noc.ports import OutputPort
 from repro.noc.router import CREDIT_DELAY, MeshRouter
@@ -123,13 +124,20 @@ class PraRouter(MeshRouter):
 
     # -- flit reception (latch landings use the sentinel index) ---------------
 
+    #: Latch landings need this dispatching path, so the network keeps
+    #: calling ``receive_flit`` instead of inlining arrival delivery —
+    #: unless every router advertises the latch sentinel, in which case
+    #: ``Network._run_events`` dispatches latch landings inline too.
+    _plain_receive = False
+    _latch_index = LATCH_INDEX
+
     def receive_flit(self, direction: Direction, vc_index: int, flit: Flit) -> None:
         if vc_index == LATCH_INDEX:
             self._latches[direction].append(flit)
-            self.active_flits += 1
-            self.network.wake_router(self.node)
-            return
-        super().receive_flit(direction, vc_index, flit)
+        else:
+            self.input_units[direction].vcs[vc_index].push(flit)
+        self.active_flits += 1
+        self.network.wake_router(self.node)
 
     def has_work(self) -> bool:
         """Awake while flits are buffered or any reservation is pending.
@@ -184,6 +192,171 @@ class PraRouter(MeshRouter):
             self._lsd_scan(now, candidates)
         if now - self._last_purge >= _PURGE_PERIOD:
             self._purge(now)
+
+    # -- build-time specialization (hot-path engine v3) --------------------------
+
+    def finalize_build(self) -> None:
+        """Elect the flattened PRA step.
+
+        The PRA pipeline only exists on the flat mesh, so unlike the
+        base mesh election there is no layering to rule out — just
+        subclassing: any subclass keeps the generic :meth:`step`,
+        because the inline body replicates exactly this class's
+        arbitration (the local arbiter is the stock mesh one; the PRA
+        arbiter and LSD keep their own helpers in both paths).
+        """
+        if not self.network.fastpath:
+            return
+        if type(self) is not PraRouter:
+            return
+        self.step = self._step_fast_pra  # type: ignore[method-assign]
+
+    def _step_fast_pra(self, now: int) -> None:
+        """Monomorphic hot path for the PRA router.
+
+        Bit-identical to :meth:`step` with the generic local-arbiter
+        helpers (``_advance_held``/``_try_grant``/``_grant``/
+        ``_pop_and_send``) inlined, mirroring the base mesh
+        ``_step_fast``.  Falls back to the generic step whenever an
+        observer is attached (faults, tracer, shard boundary), so
+        instrumented runs always exercise the reference path.
+        """
+        network = self.network
+        if (network.faults.enabled or network.tracer.enabled
+                or network.boundary is not None):
+            PraRouter.step(self, now)
+            return
+        used_inputs: Set[Direction] = set()
+        busy_dirs: Set[Direction] = set()
+        self._execute_reservations(now, used_inputs, busy_dirs)
+        if self.active_flits == 0:
+            return
+        candidates = self._collect_head_candidates()
+        rr_last = self._rr_last
+        total = self._rr_total
+        pop_send = self._pop_send_fast_pra
+        for port in self.port_list:
+            direction = port.direction
+            if busy_dirs and direction in busy_dirs:
+                self._count_blocked(candidates.get(direction), used_inputs)
+                continue
+            held = port.held_by
+            if held is not None:
+                # Generic ``_advance_held``, tracer-off.
+                vc = port.active_vc
+                if vc is None:
+                    continue
+                flits = vc.flits
+                if not flits or flits[0].packet is not held:
+                    continue  # next flit still in flight from upstream
+                in_dir = vc.unit.direction
+                if in_dir in used_inputs:
+                    continue
+                if port.ni_sink is None and port.credits[port.held_dst_vc] < 1:
+                    continue
+                used_inputs.add(in_dir)
+                if pop_send(port, vc, now).is_tail:
+                    port.release()
+                continue
+            group = candidates.get(direction)
+            if not group:
+                continue
+            # Generic ``_try_grant`` fused: eligibility filter (the
+            # stock ``_may_grant`` — PRA reservation rules live in the
+            # PRA arbiter, not here) plus the rotation pick.
+            down_unit = port.downstream_unit
+            credits = port.credits
+            ejection = port.ni_sink is not None
+            last = rr_last[direction]
+            if last is None:
+                last = total - 1
+            choice = None
+            best = total
+            for vc in group:
+                if vc.unit.direction in used_inputs:
+                    continue
+                if not ejection:
+                    vc_index = vc.flits[0].packet.vc_index
+                    down_vc = down_unit.vcs[vc_index]
+                    if (down_vc.allocated_to is not None or down_vc.flits
+                            or credits[vc_index] < 1):
+                        continue
+                rank = (vc.rr_id - last - 1) % total
+                if rank < best:
+                    best = rank
+                    choice = vc
+            if choice is None:
+                continue
+            vc = choice
+            self._rr[direction] = vc.rr_key
+            rr_last[direction] = vc.rr_id
+            packet = vc.flits[0].packet
+            if not ejection:
+                down_unit.vcs[packet.vc_index].allocated_to = packet
+            # Inline ``port.hold`` (the unheld branch guarantees it).
+            port.held_by = packet
+            port.active_vc = vc
+            port.held_dst_vc = packet.vc_index
+            port.holder_sent = 0
+            used_inputs.add(vc.unit.direction)
+            if pop_send(port, vc, now).is_tail:
+                port.release()
+        if self._use_lsd:
+            self._lsd_scan(now, candidates)
+        if now - self._last_purge >= _PURGE_PERIOD:
+            self._purge(now)
+
+    def _pop_send_fast_pra(self, port: OutputPort, vc: VirtualChannel,
+                           now: int) -> Flit:
+        """``_pop_and_send`` + ``OutputPort.send`` fused for the
+        tracer-off, credit-charging case — the PRA twin of the mesh
+        ``_pop_send_fast``, except credits append into the *ordered*
+        event queue (:meth:`PraNetwork.schedule_credit` semantics: the
+        control network's reservation walk reads credit counters, so
+        credit/control insertion order is significant).  Every target
+        cycle is ``now + <positive const>`` with ``now ==
+        network.cycle``, so the future-only guard the public schedulers
+        enforce holds by construction."""
+        flit = vc.flits.popleft()
+        if flit.is_tail:
+            vc.allocated_to = vc.next_claim
+            vc.next_claim = None
+        self.active_flits -= 1
+        network = self.network
+        events = network._events
+        pool = network._bucket_pool
+        feeder = vc.unit.feeder_port
+        if feeder is not None:
+            time = now + CREDIT_DELAY
+            bucket = events.get(time)
+            if bucket is None:
+                bucket = pool.pop() if pool else ([], [], [])
+                events[time] = bucket
+            bucket[2].append((_CREDIT, feeder, vc.index))
+        port.flits_sent += 1
+        packet = flit.packet
+        if port.held_by is packet:
+            port.holder_sent += 1
+            vc_index = port.held_dst_vc
+        else:
+            vc_index = packet.vc_index
+        if port.ni_sink is not None:
+            network.schedule_eject(now + 1, port.ni_sink, flit)
+            return flit
+        credits = port.credits
+        if credits[vc_index] <= 0:
+            raise RuntimeError("credit underflow: flow control violated")
+        credits[vc_index] -= 1
+        if flit.is_head:
+            packet.hops_taken += 1
+        time = now + port.link_hop_latency
+        bucket = events.get(time)
+        if bucket is None:
+            bucket = pool.pop() if pool else ([], [], [])
+            events[time] = bucket
+        bucket[0].append((port.downstream_router, port.downstream_dir,
+                          vc_index, flit))
+        return flit
 
     # -- the PRA arbiter ---------------------------------------------------------
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.noc.network import _ARRIVAL, _CREDIT, _EJECT
+from repro.noc.network import _CREDIT, _EJECT
 from repro.noc.topology import port_name
 
 #: Cap on per-violation detail lists (wait graphs on big meshes).
@@ -330,21 +330,26 @@ class InvariantSuite:
 
     @staticmethod
     def _pending_events(net) -> Dict[str, Any]:
-        """Classify queued future events once per audit."""
+        """Classify queued future events once per audit.
+
+        Buckets are per-kind ``(arrivals, credits, ordered)`` queues;
+        credits may additionally ride in the ordered queue (Mesh+PRA),
+        so both places are counted.
+        """
         arrivals: List[Tuple[Any, Any, int, Any]] = []
         ejects: List[Any] = []
         credits: Dict[Tuple[int, int], int] = {}
-        for events in net._events.values():
-            for event in events:
+        for bucket_arrivals, bucket_credits, ordered in net._events.values():
+            arrivals.extend(bucket_arrivals)
+            for port, vc_index in bucket_credits:
+                key = (id(port), vc_index)
+                credits[key] = credits.get(key, 0) + 1
+            for event in ordered:
                 kind = event[0]
-                if kind == _ARRIVAL:
-                    _, router, direction, vc_index, flit = event
-                    arrivals.append((router, direction, vc_index, flit))
-                elif kind == _EJECT:
+                if kind == _EJECT:
                     ejects.append(event[2])
                 elif kind == _CREDIT:
-                    _, port, vc_index = event
-                    key = (id(port), vc_index)
+                    key = (id(event[1]), event[2])
                     credits[key] = credits.get(key, 0) + 1
         return {"arrivals": arrivals, "ejects": ejects, "credits": credits}
 

@@ -112,17 +112,14 @@ class IdealNetwork(Network):
         """Claim up to ``hops_per_cycle`` links; move if at least one."""
         window_end = now + packet.size
         topo = self.topology
-        dir_cache = topo._dir_cache
-        num_nodes = topo.num_nodes
+        route_row = topo.route_row
         free_at = self._link_free_at
         dst = packet.dst
         hops = 0
         position = node
         claimed: List[Tuple[int, Port]] = []
         while hops < self.hops_per_cycle and position != dst:
-            direction = dir_cache.get(position * num_nodes + dst)
-            if direction is None:
-                direction = topo.route_port(position, dst)
+            direction = route_row(position)[dst]
             link = (position, direction)
             if free_at.get(link, 0) > now:
                 break

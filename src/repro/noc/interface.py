@@ -90,11 +90,33 @@ class NetworkInterface:
         # downstream VC at injection, and checking the wrong pool could
         # transmit without credit mid-packet.  Identical for the base
         # mesh, where the two always coincide.
-        if not port.has_credit_for(port.held_dst_vc):
+        dst_vc = port.held_dst_vc
+        if port.ni_sink is None and port.credits[dst_vc] < 1:
             return
         flit = packet.flits[self._holder_next_flit]
         self._holder_next_flit += 1
-        port.send(flit, now)
+        network = self.network
+        if (network.tracer.enabled or not port._plain_send
+                or port.ni_sink is not None):
+            port.send(flit, now)
+        else:
+            # ``OutputPort.send`` flattened for the common case: a held
+            # injection port (holder bookkeeping and the credit charge
+            # are unconditional, and ``port.router`` is None so no hop
+            # is counted).  One NI flit per stepped cycle goes through
+            # here, so the virtual call was measurable.
+            port.flits_sent += 1
+            port.holder_sent += 1
+            if port.credits[dst_vc] <= 0:
+                raise RuntimeError("credit underflow: flow control violated")
+            port.credits[dst_vc] -= 1
+            network.schedule_arrival(
+                now + port.link_hop_latency,
+                port.downstream_router,
+                port.downstream_dir,
+                dst_vc,
+                flit,
+            )
         if flit.is_tail:
             self.queues[packet.vc_index].popleft()
             port.release()

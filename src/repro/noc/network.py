@@ -42,6 +42,9 @@ from repro.trace.tracer import NULL_TRACER
 DeliveryHandler = Callable[[Packet, int], None]
 
 # Event kind tags (tuples are cheaper than closures on the hot path).
+# Arrivals and credits normally travel in dedicated per-kind queues
+# (see ``_bucket``); the tags survive for the *ordered* queue, whose
+# events must keep their exact insertion order.
 _ARRIVAL = 0
 _EJECT = 1
 _CREDIT = 2
@@ -68,6 +71,26 @@ def time_skip_enabled() -> bool:
     return _time_skip_default
 
 
+#: Process-wide default for build-time router specialization (the
+#: monomorphic ``step`` fast paths).  Captured at network construction
+#: (``net.fastpath``) because the election happens while the network is
+#: being wired.  ``REPRO_NO_FASTPATH=1`` forces every router onto the
+#: generic reference path; golden digests must be bit-identical either
+#: way (enforced by ``tests/test_fastpath.py``).
+_fastpath_default = not os.environ.get("REPRO_NO_FASTPATH")
+
+
+def set_fastpath(enabled: bool) -> None:
+    """Set the process-wide fast-path default for new networks."""
+    global _fastpath_default
+    _fastpath_default = bool(enabled)
+
+
+def fastpath_enabled() -> bool:
+    """The current process-wide fast-path default."""
+    return _fastpath_default
+
+
 class Network:
     """Base class for all four network organizations."""
 
@@ -87,7 +110,32 @@ class Network:
         self._router_queue: List[int] = []
         self._ni_awake: List[bool] = [False] * num_nodes
         self._ni_queue: List[int] = []
-        self._events: Dict[int, list] = {}
+        #: Sorted-so-far flags for the wake queues: wakes usually arrive
+        #: in ascending node order (events drain in insertion order and
+        #: the step loops walk nodes ascending), so the per-cycle sort
+        #: is skipped unless an out-of-order wake actually landed.
+        self._router_sorted = True
+        self._ni_sorted = True
+        #: Event buckets by cycle.  Each bucket is ``(arrivals, credits,
+        #: ordered)`` — per-kind queues drained in bulk in that order.
+        #: Arrivals commute with every other same-cycle event (a flit in
+        #: flight lands in a VC whose allocation was decided at grant
+        #: time) and credit returns are pure counter increments, so only
+        #: the *ordered* queue (ejections and deferred calls, which can
+        #: inject packets and read shared state) preserves exact
+        #: insertion order.  Mesh+PRA routes credits through the ordered
+        #: queue instead — its control network reads credit counters
+        #: from deferred calls (see ``PraNetwork.schedule_credit``).
+        self._events: Dict[int, tuple] = {}
+        #: Drained buckets are recycled here; safe because ``_push``
+        #: forbids scheduling into the bucket being drained.
+        self._bucket_pool: List[tuple] = []
+        #: Lazily resolved arrival-delivery mode for ``_run_events``:
+        #: 1 = every router takes the stock flit-reception path
+        #: (``BaseRouter.receive_flit``), inline it; 2 = every router
+        #: is latch-capable (Mesh+PRA), inline with the latch-sentinel
+        #: dispatch; 0 = mixed/custom, virtual ``receive_flit`` calls.
+        self._plain_arrivals: Optional[int] = None
         self._delivery_handler: Optional[DeliveryHandler] = None
         self._head_handler: Optional[DeliveryHandler] = None
         #: Event tracer; the null object keeps the hot path to a single
@@ -101,6 +149,10 @@ class Network:
         #: Event-horizon time skipping (see module docstring); captured
         #: from the process default so a driver can opt out per network.
         self.time_skip = _time_skip_default
+        #: Build-time router specialization (monomorphic fast paths);
+        #: captured at construction because routers elect their ``step``
+        #: binding while the network is wired (``finalize_build``).
+        self.fastpath = _fastpath_default
         #: Idle cycles fast-forwarded instead of stepped.
         self.cycles_skipped = 0
         #: Boundary-port observer installed by the sharded engine
@@ -161,13 +213,19 @@ class Network:
         """Schedule the NI at ``node`` for processing this/next cycle."""
         if not self._ni_awake[node]:
             self._ni_awake[node] = True
-            self._ni_queue.append(node)
+            queue = self._ni_queue
+            if queue and node < queue[-1]:
+                self._ni_sorted = False
+            queue.append(node)
 
     def wake_router(self, node: int) -> None:
         """Schedule the router at ``node`` for processing this/next cycle."""
         if not self._router_awake[node]:
             self._router_awake[node] = True
-            self._router_queue.append(node)
+            queue = self._router_queue
+            if queue and node < queue[-1]:
+                self._router_sorted = False
+            queue.append(node)
 
     def step(self) -> None:
         """Advance the network by one clock cycle.
@@ -183,7 +241,9 @@ class Network:
         batch = self._ni_queue
         if batch:
             self._ni_queue = []
-            batch.sort()
+            if not self._ni_sorted:
+                batch.sort()
+                self._ni_sorted = True
             awake = self._ni_awake
             interfaces = self.interfaces
             for node in batch:
@@ -193,11 +253,16 @@ class Network:
                 ni.step(now)
                 if not awake[node] and ni.has_work():
                     awake[node] = True
-                    self._ni_queue.append(node)
+                    queue = self._ni_queue
+                    if queue and node < queue[-1]:
+                        self._ni_sorted = False
+                    queue.append(node)
         batch = self._router_queue
         if batch:
             self._router_queue = []
-            batch.sort()
+            if not self._router_sorted:
+                batch.sort()
+                self._router_sorted = True
             awake = self._router_awake
             routers = self.routers
             for node in batch:
@@ -207,29 +272,115 @@ class Network:
                 router.step(now)
                 if not awake[node] and router.has_work():
                     awake[node] = True
-                    self._router_queue.append(node)
+                    queue = self._router_queue
+                    if queue and node < queue[-1]:
+                        self._router_sorted = False
+                    queue.append(node)
         self._post_router_step(now)
         if self.invariants is not None:
             self.invariants.on_cycle(self, now)
         self.cycle = now + 1
 
     def _run_events(self, now: int) -> None:
-        events = self._events.pop(now, None)
-        if events:
-            for event in events:
-                kind = event[0]
-                if kind == _ARRIVAL:
-                    _, router, direction, vc_index, flit = event
+        """Drain this cycle's event bucket, one kind at a time.
+
+        Arrivals first, then credit returns, then the ordered queue
+        (ejections and deferred calls, in exact insertion order) — see
+        the ``_events`` comment for why this order is observationally
+        identical to interleaved dispatch.  The emptied bucket is
+        recycled through ``_bucket_pool``; that is safe because
+        ``_push`` rejects scheduling into the cycle being drained.
+        """
+        bucket = self._events.pop(now, None)
+        if bucket is None:
+            return
+        arrivals, credits, ordered = bucket
+        if arrivals:
+            if self.boundary is not None:
+                # Sharded runs wrap ``wake_router`` per instance to
+                # filter non-owned nodes; take the dispatching path so
+                # the wrapper stays in the loop.
+                mode = 0
+            else:
+                mode = self._plain_arrivals
+                if mode is None:
+                    routers = self.routers
+                    if not routers:
+                        mode = 0
+                    elif all(router._plain_receive
+                             and router.network is self
+                             for router in routers):
+                        mode = 1  # stock reception everywhere
+                    elif all(router._latch_index is not None
+                             and router.network is self
+                             for router in routers):
+                        mode = 2  # PRA: VC push or latch append
+                    else:
+                        mode = 0  # mixed/custom: virtual dispatch
+                    self._plain_arrivals = mode
+            if mode == 1:
+                # Inlined ``BaseRouter.receive_flit`` (+ wake): the
+                # delivery loop is the single hottest event path.
+                awake = self._router_awake
+                queue = self._router_queue
+                for router, direction, vc_index, flit in arrivals:
+                    vc = router.input_units[direction].vcs[vc_index]
+                    if len(vc.flits) >= vc.capacity:
+                        raise OverflowError(
+                            f"VC{vc_index} overflow: credit discipline "
+                            "violated"
+                        )
+                    vc.flits.append(flit)
+                    router.active_flits += 1
+                    node = router.node
+                    if not awake[node]:
+                        awake[node] = True
+                        if queue and node < queue[-1]:
+                            self._router_sorted = False
+                        queue.append(node)
+            elif mode == 2:
+                # Inlined ``PraRouter.receive_flit`` (+ wake): same
+                # loop with the latch-sentinel dispatch kept.
+                awake = self._router_awake
+                queue = self._router_queue
+                for router, direction, vc_index, flit in arrivals:
+                    if vc_index == router._latch_index:
+                        router._latches[direction].append(flit)
+                    else:
+                        vc = router.input_units[direction].vcs[vc_index]
+                        if len(vc.flits) >= vc.capacity:
+                            raise OverflowError(
+                                f"VC{vc_index} overflow: credit discipline "
+                                "violated"
+                            )
+                        vc.flits.append(flit)
+                    router.active_flits += 1
+                    node = router.node
+                    if not awake[node]:
+                        awake[node] = True
+                        if queue and node < queue[-1]:
+                            self._router_sorted = False
+                        queue.append(node)
+            else:
+                for router, direction, vc_index, flit in arrivals:
                     router.receive_flit(direction, vc_index, flit)
-                elif kind == _EJECT:
-                    _, ni, flit = event
-                    ni.eject_flit(flit, now)
-                elif kind == _CREDIT:
-                    _, port, vc_index = event
-                    port.return_credit(vc_index)
-                else:
-                    _, fn, args = event
-                    fn(*args)
+        for port, vc_index in credits:
+            port.credits[vc_index] += 1
+        for event in ordered:
+            kind = event[0]
+            if kind == _EJECT:
+                event[1].eject_flit(event[2], now)
+            elif kind == _CREDIT:
+                # ``OutputPort.return_credit`` inlined (its single
+                # definition is a bare increment; ordering relative to
+                # ejections and deferred calls is what matters here).
+                event[1].credits[event[2]] += 1
+            else:
+                event[1](*event[2])
+        arrivals.clear()
+        credits.clear()
+        ordered.clear()
+        self._bucket_pool.append(bucket)
 
     # -- the event horizon -------------------------------------------------
 
@@ -371,27 +522,57 @@ class Network:
 
     # -- event scheduling (component API) ---------------------------------
 
-    def _push(self, time: int, event) -> None:
+    def _bucket(self, time: int) -> tuple:
+        """The ``(arrivals, credits, ordered)`` bucket for ``time``,
+        created (or pulled off the free list) on first use."""
         if time <= self.cycle:
             raise ValueError("events must be scheduled in the future")
         events = self._events
         bucket = events.get(time)
         if bucket is None:
-            events[time] = [event]
-        else:
-            bucket.append(event)
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else ([], [], [])
+            events[time] = bucket
+        return bucket
+
+    # The three hot schedulers flatten ``_bucket`` inline: they run once
+    # per flit hop, and the extra call dominated their cost.
 
     def schedule_arrival(self, time, router, direction, vc_index, flit) -> None:
-        self._push(time, (_ARRIVAL, router, direction, vc_index, flit))
+        if time <= self.cycle:
+            raise ValueError("events must be scheduled in the future")
+        events = self._events
+        bucket = events.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else ([], [], [])
+            events[time] = bucket
+        bucket[0].append((router, direction, vc_index, flit))
 
     def schedule_eject(self, time, ni, flit) -> None:
-        self._push(time, (_EJECT, ni, flit))
+        if time <= self.cycle:
+            raise ValueError("events must be scheduled in the future")
+        events = self._events
+        bucket = events.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else ([], [], [])
+            events[time] = bucket
+        bucket[2].append((_EJECT, ni, flit))
 
     def schedule_credit(self, time, port, vc_index) -> None:
-        self._push(time, (_CREDIT, port, vc_index))
+        if time <= self.cycle:
+            raise ValueError("events must be scheduled in the future")
+        events = self._events
+        bucket = events.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else ([], [], [])
+            events[time] = bucket
+        bucket[1].append((port, vc_index))
 
     def schedule_call(self, time, fn, *args) -> None:
-        self._push(time, (_CALL, fn, args))
+        self._bucket(time)[2].append((_CALL, fn, args))
 
     # -- hooks -------------------------------------------------------------
 
@@ -417,12 +598,23 @@ class Network:
 
     # -- checkpointing -----------------------------------------------------
 
+    def _encode_bucket(self, bucket: tuple, ctx) -> list:
+        """Flatten one bucket into the wire format, in drain order
+        (arrivals, credits, then the ordered queue).  The per-event
+        encoding is unchanged from the flat-list era, so old snapshots
+        decode and the shard merge tooling needs no version bump."""
+        arrivals, credits, ordered = bucket
+        out = [
+            ["a", router.node, int(direction), vc_index, ctx.flit_ref(flit)]
+            for router, direction, vc_index, flit in arrivals
+        ]
+        out += [["c", ctx.port_ref(port), vc_index]
+                for port, vc_index in credits]
+        out += [self._encode_event(event, ctx) for event in ordered]
+        return out
+
     def _encode_event(self, event, ctx) -> list:
         kind = event[0]
-        if kind == _ARRIVAL:
-            _, router, direction, vc_index, flit = event
-            return ["a", router.node, int(direction), vc_index,
-                    ctx.flit_ref(flit)]
         if kind == _EJECT:
             _, ni, flit = event
             return ["e", ni.node, ctx.flit_ref(flit)]
@@ -432,22 +624,43 @@ class Network:
         _, fn, args = event
         return ["f", ctx.callback_ref(fn), [ctx.ref(arg) for arg in args]]
 
-    def _decode_event(self, encoded: list, ctx) -> tuple:
-        tag = encoded[0]
-        if tag == "a":
-            return (_ARRIVAL, self.routers[encoded[1]],
-                    as_port(encoded[2]), encoded[3], ctx.flit(encoded[4]))
-        if tag == "e":
-            return (_EJECT, self.interfaces[encoded[1]], ctx.flit(encoded[2]))
-        if tag == "c":
-            return (_CREDIT, ctx.port(encoded[1]), encoded[2])
-        return (_CALL, ctx.callback(encoded[1]),
-                tuple(ctx.deref(arg) for arg in encoded[2]))
+    def _decode_bucket(self, encoded_bucket: list, ctx) -> tuple:
+        """Re-classify a flat encoded event list into per-kind queues.
+
+        Classification is by tag, not position, so pre-batching
+        snapshots (interleaved order) load correctly: relative order
+        within each kind is preserved, which is the only order the
+        drain respects anyway.
+        """
+        bucket: tuple = ([], [], [])
+        arrivals, _, ordered = bucket
+        for encoded in encoded_bucket:
+            tag = encoded[0]
+            if tag == "a":
+                arrivals.append((self.routers[encoded[1]],
+                                 as_port(encoded[2]), encoded[3],
+                                 ctx.flit(encoded[4])))
+            elif tag == "c":
+                self._restore_credit(bucket, ctx.port(encoded[1]), encoded[2])
+            elif tag == "e":
+                ordered.append((_EJECT, self.interfaces[encoded[1]],
+                                ctx.flit(encoded[2])))
+            else:
+                ordered.append((_CALL, ctx.callback(encoded[1]),
+                                tuple(ctx.deref(arg) for arg in encoded[2])))
+        return bucket
+
+    def _restore_credit(self, bucket: tuple, port, vc_index: int) -> None:
+        """Where a restored credit event lands; Mesh+PRA overrides this
+        to route credits through the ordered queue (mirroring its
+        ``schedule_credit``)."""
+        bucket[1].append((port, vc_index))
 
     def state_dict(self, ctx) -> dict:
         """Mutable network state.  Wake queues serialize sorted (the
-        step loop sorts them anyway) but event *buckets* keep their
-        exact append order — same-cycle events run in insertion order."""
+        step loop sorts them anyway); event buckets serialize in drain
+        order (arrivals, credits, then the ordered queue in its exact
+        append order) — the only order the drain observes."""
         return {
             "cycle": self.cycle,
             "cycles_skipped": self.cycles_skipped,
@@ -455,7 +668,7 @@ class Network:
             "ni_queue": sorted(self._ni_queue),
             "router_queue": sorted(self._router_queue),
             "events": [
-                [time, [self._encode_event(event, ctx) for event in bucket]]
+                [time, self._encode_bucket(bucket, ctx)]
                 for time, bucket in sorted(self._events.items())
             ],
             "routers": [router.state_dict(ctx) for router in self.routers],
@@ -471,17 +684,19 @@ class Network:
         num_nodes = self.topology.num_nodes
         self._ni_awake = [False] * num_nodes
         self._ni_queue = []
+        self._ni_sorted = True
         for node in state["ni_queue"]:
             self.wake_ni(node)
         self._router_awake = [False] * num_nodes
         self._router_queue = []
+        self._router_sorted = True
         for node in state["router_queue"]:
             self.wake_router(node)
-        # Written directly: ``_push`` rejects past timestamps, but the
+        # Written directly: ``_bucket`` rejects past timestamps, but the
         # restored cycle counter is already mid-run.
         self._events = {
-            time: [self._decode_event(event, ctx) for event in bucket]
-            for time, bucket in state["events"]
+            time: self._decode_bucket(encoded_bucket, ctx)
+            for time, encoded_bucket in state["events"]
         }
         for router, router_state in zip(self.routers, state["routers"]):
             router.load_state(router_state, ctx)

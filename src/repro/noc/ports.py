@@ -147,20 +147,28 @@ class OutputPort:
 
     def can_allocate_vc(self, packet: Packet,
                         vc_index: Optional[int] = None) -> bool:
-        """VC allocation check for a normally routed head flit."""
-        if self.is_ejection:
+        """VC allocation check for a normally routed head flit.
+
+        Runs once per (output, candidate) pair every arbitration cycle;
+        the ``downstream_vc``/``can_accept_packet``/``usable_credits``
+        chain is flattened to plain attribute reads.
+        """
+        if self.ni_sink is not None:
             return True
         if vc_index is None:
             vc_index = packet.vc_index
-        vc = self.downstream_vc(vc_index)
+        unit = self.downstream_unit
+        if unit is None:
+            return False
+        vc = unit.vcs[vc_index]
         return (
-            vc is not None
-            and vc.can_accept_packet(packet)
-            and self.usable_credits(vc_index) >= 1
+            vc.allocated_to is None
+            and not vc.flits
+            and self.credits[vc_index] >= 1
         )
 
     def has_credit_for(self, vc_index: int) -> bool:
-        return self.is_ejection or self.usable_credits(vc_index) >= 1
+        return self.ni_sink is not None or self.credits[vc_index] >= 1
 
     # -- fault site -------------------------------------------------------
 
@@ -202,6 +210,11 @@ class OutputPort:
         return self.held_by.size - self.holder_sent
 
     # -- flit transmission ----------------------------------------------
+
+    #: ``BaseRouter._pop_and_send`` inlines the tracer-off body of
+    #: :meth:`send`.  A subclass that overrides ``send`` must clear
+    #: this flag so the router falls back to the virtual call.
+    _plain_send = True
 
     def send(self, flit: Flit, now: int, charge_credit: bool = True,
              vc_index: Optional[int] = None) -> None:

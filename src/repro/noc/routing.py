@@ -9,11 +9,14 @@ shortest-direction on rings, hierarchical XY -> interposer -> XY on
 chiplets — and these helpers are thin memoized entry points kept for
 their call sites (the control network, SMART, the ideal fabric).
 
-Memoization is structurally per-topology-instance: the caches are
-attributes of the :class:`~repro.noc.topology.Topology` object and the
-keys are node-pair indices within *that* topology, so two live
-topologies — even of identical size — can never serve each other's
-cached routes.  This module holds no state.
+Route state is structurally per-topology-instance: the next-port query
+is served from dense per-node route rows
+(:meth:`~repro.noc.topology.Topology.route_row` — a list indexed by
+destination id, built once and aliased by every router), and the
+full-path memo is a bounded per-instance cache keyed by node-pair
+indices within *that* topology, so two live topologies — even of
+identical size — can never serve each other's routes.  This module
+holds no state.
 """
 
 from __future__ import annotations

@@ -16,8 +16,9 @@ graph contract"):
   (:meth:`Topology.link_latency`), cycles from switch grant to
   downstream allocation eligibility (2 for on-die hops);
 * :meth:`Topology.next_port` is the pure deterministic routing law;
-  :meth:`Topology.route_port` / :meth:`Topology.route` are its memoized
-  wrappers.  Memos live **on the topology instance**, so two live
+  :meth:`Topology.route_port` reads it through dense per-node tables
+  (:meth:`Topology.route_row`) and :meth:`Topology.route` through a
+  bounded memo.  Tables live **on the topology instance**, so two live
   topologies can never serve each other's cached routes.
 
 Concrete graphs:
@@ -93,6 +94,10 @@ INT_NORTH, INT_EAST, INT_SOUTH, INT_WEST = 5, 6, 7, 8
 IO_UP = 5
 IO_DOWN_BASE = 6
 
+#: Bound on the full-route memo (``Topology.route``); past it the memo
+#: is dropped wholesale and rebuilt on demand from the dense rows.
+_ROUTE_CACHE_CAP = 4096
+
 _INT_OPPOSITE = {INT_NORTH: INT_SOUTH, INT_SOUTH: INT_NORTH,
                  INT_EAST: INT_WEST, INT_WEST: INT_EAST}
 _INT_DELTAS = {INT_NORTH: (0, -1), INT_SOUTH: (0, 1),
@@ -137,12 +142,19 @@ class Topology:
         if num_nodes < 1:
             raise ValueError("topology must have at least one node")
         self.num_nodes = num_nodes
-        #: Route memos keyed by ``node * num_nodes + dst``, filled
-        #: lazily.  Instance-owned by construction: routing helpers in
-        #: :mod:`repro.noc.routing` keep no module-level state, so two
-        #: live topologies with overlapping (src, dst) key spaces can
-        #: never serve each other's cached routes.
-        self._dir_cache: dict = {}
+        #: Dense next-port tables, one row per source node, built lazily
+        #: from :meth:`next_port` (the pure routing law, which stays the
+        #: reference oracle — ``tests/test_fastpath.py`` asserts every
+        #: row entry against it).  ``row[dst]`` replaces the old
+        #: ``node * num_nodes + dst`` dict memo: routers hold their row
+        #: and route with one list index instead of a hash lookup.
+        #: Instance-owned by construction, so two live topologies can
+        #: never serve each other's routes.
+        self._dense_rows: List[Optional[List[Port]]] = [None] * num_nodes
+        #: Full-route memo (``route()``), bounded: route tuples are only
+        #: resolved outside the hot path (control packets, zero-load
+        #: laws), so on overflow the whole memo is dropped and rebuilt
+        #: from the dense rows instead of growing O(num_nodes^2).
         self._route_cache: dict = {}
 
     # -- the graph protocol (subclass responsibility) ----------------------
@@ -186,26 +198,39 @@ class Topology:
             if other is not None:
                 yield port, other
 
+    def route_row(self, node: int) -> List[Port]:
+        """Dense next-port row for ``node``: ``row[dst]`` is
+        :meth:`next_port`\\ ``(node, dst)`` for every destination
+        (``Direction.LOCAL`` at ``dst == node``).  Built once per node
+        and shared — routers alias their row, so the hottest routing
+        query is a single list index."""
+        self._check(node)
+        row = self._dense_rows[node]
+        if row is None:
+            next_port = self.next_port
+            row = [next_port(node, dst) for dst in range(self.num_nodes)]
+            self._dense_rows[node] = row
+        return row
+
     def route_port(self, node: int, dst: int) -> Port:
-        """Memoized :meth:`next_port` (the hottest routing query)."""
-        key = node * self.num_nodes + dst
-        cache = self._dir_cache
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        port = self.next_port(node, dst)
-        cache[key] = port
-        return port
+        """Dense-table :meth:`next_port` (the hottest routing query)."""
+        row = self._dense_rows[node]
+        if row is None:
+            row = self.route_row(node)
+        return row[dst]
 
     def route(self, src: int, dst: int) -> Tuple[Tuple[int, Port], ...]:
         """The full source route as ``((node, out_port), ...)``, ending
         with ``(dst, Direction.LOCAL)`` (the ejection hop).  Memoized
-        per (src, dst) pair as shared immutable tuples."""
+        per (src, dst) pair as shared immutable tuples; the memo is
+        bounded (dropped wholesale past ``_ROUTE_CACHE_CAP`` entries)."""
         key = src * self.num_nodes + dst
         cache = self._route_cache
         hit = cache.get(key)
         if hit is not None:
             return hit
+        if len(cache) >= _ROUTE_CACHE_CAP:
+            cache.clear()
         path = []
         node = src
         for _ in range(self.num_nodes + 1):

@@ -27,7 +27,7 @@ class VirtualChannel:
     """A FIFO flit buffer with single-packet occupancy."""
 
     __slots__ = ("index", "capacity", "flits", "allocated_to", "next_claim",
-                 "unit", "rr_key")
+                 "unit", "rr_key", "rr_id")
 
     def __init__(self, index: int, capacity: int):
         if capacity < 1:
@@ -45,8 +45,12 @@ class VirtualChannel:
         #: Owning InputUnit (backref set by the unit).
         self.unit: Optional["InputUnit"] = None
         #: Arbitration key ``(input direction, vc index)`` (set by the
-        #: unit); precomputed because round-robin picks sort on it.
+        #: unit); round-robin order is defined over it.
         self.rr_key: tuple = ()
+        #: Dense router-wide rank of ``rr_key`` (assigned by the router);
+        #: lets round-robin picks use modular arithmetic instead of a
+        #: sort.
+        self.rr_id: int = 0
 
     @property
     def is_empty(self) -> bool:

@@ -69,8 +69,10 @@ class SyntheticTraffic:
         # never source or sink traffic.  Equal to num_nodes everywhere
         # else, so mesh/ring random streams are unchanged.
         num_nodes = self.network.topology.num_endpoints
+        rng_random = self.rng.random
+        rate = self.rate
         for node in range(num_nodes):
-            if self.rng.random() >= self.rate:
+            if rng_random() >= rate:
                 continue
             dst = self._destination(node, num_nodes)
             if dst is None or dst == node:

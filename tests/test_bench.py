@@ -41,9 +41,17 @@ def test_run_bench_produces_complete_report(tmp_path):
     assert report["schema"] == SCHEMA_VERSION
     assert report["scale"] == "tiny"
     orgs = {k.value for k in ALL_KINDS}
+    contested = {"mesh@contested", "smart@contested",
+                 "mesh+pra@contested", "chiplet@contested"}
     assert set(report["micro"]) == (
-        orgs | {f"{org}@low" for org in orgs} | {"mesh@shard1"}
+        orgs | {f"{org}@low" for org in orgs} | contested
+        | {"mesh@shard1"}
     )
+    for key in contested:
+        cell = report["micro"][key]
+        assert cell["wall_s"] > 0
+        assert cell["stepped_cycles_per_sec"] > 0
+        assert len(cell["digest"]) == 64
     for org in orgs:
         cell = report["micro"][org]
         assert cell["cycles"] == TINY.warmup + TINY.measure

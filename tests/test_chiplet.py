@@ -110,16 +110,16 @@ def test_route_memo_is_per_instance():
     a = MeshTopology(4, 4)
     b = _topology("chiplet:2x2x3x3")
     assert a._route_cache is not b._route_cache
-    assert a._dir_cache is not b._dir_cache
-    # Same (node, dst) key, different answers; each memo stays correct.
+    assert a._dense_rows is not b._dense_rows
+    # Same (node, dst) key, different answers; each table stays correct.
     assert a.route_port(0, 4) == Direction.SOUTH  # 4x4 mesh: 4 is (0, 1)
     assert b.route_port(0, 4) == Direction.EAST   # 3x3 sub-mesh: (1, 1)
     assert a.route_port(0, 4) == Direction.SOUTH
-    # A second identical-shape instance warms its own cache from cold.
+    # A second identical-shape instance builds its own rows from cold.
     c = MeshTopology(4, 4)
-    assert not c._dir_cache
+    assert not any(c._dense_rows)
     assert c.route_port(0, 4) == Direction.SOUTH
-    assert c._dir_cache
+    assert c._dense_rows[0] is not None
 
 
 def test_chiplet_link_latencies():

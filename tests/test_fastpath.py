@@ -1,0 +1,303 @@
+"""Hot-path engine v3: the fast paths must be *pure* optimizations.
+
+Three families of guarantees are pinned here:
+
+* **Dense route tables** — every flattened per-node route row must
+  agree with the memoized ``next_port`` oracle for every (src, dst)
+  pair, on every concrete topology (mesh, ring, both chiplet
+  variants), and the bounded ``route()`` memo must stay correct past
+  its eviction threshold.
+
+* **Monomorphic router fast paths** — runs with the build-time
+  specialized ``step`` bindings must be bit-identical to the generic
+  layered path: the pinned golden digests hold with the fast path both
+  enabled and disabled (``REPRO_NO_FASTPATH``), including a
+  chaos+invariants sweep and the contested (high-load) bench cells.
+
+* **Batched event dispatch / wake-sort skipping** — out-of-order wakes
+  must dirty the sorted-queue flags and still process components in
+  fixed node order, so delivery results never depend on wake order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSchedule
+from repro.invariants import InvariantSuite
+from repro.noc.network import (
+    build_network,
+    fastpath_enabled,
+    set_fastpath,
+)
+from repro.noc.packet import packet_pool, reset_packet_ids
+from repro.noc.ring import build_ring
+from repro.noc.topology import (
+    MeshTopology,
+    RingTopology,
+    parse_topology_spec,
+    topology_from_spec,
+)
+from repro.params import MessageClass, NocKind, NocParams
+from repro.workloads.synthetic import SyntheticTraffic, TrafficPattern
+
+from tests.test_chiplet import GOLDEN_CHIPLET, _chiplet_run
+from tests.test_golden_determinism import (
+    GOLDEN_NETWORK,
+    GOLDEN_SYSTEM,
+    _digest,
+    _network_digest,
+    _system_digest,
+)
+
+ALL_KINDS = (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA, NocKind.IDEAL)
+
+
+@pytest.fixture
+def no_fastpath():
+    """Run the body with the generic layered path selected."""
+    set_fastpath(False)
+    try:
+        yield
+    finally:
+        set_fastpath(True)
+
+
+# -- dense route tables vs. the memoized oracle -----------------------------
+
+
+def _all_topologies():
+    return [
+        ("mesh", MeshTopology(4, 4)),
+        ("ring", RingTopology(8)),
+        ("chiplet", topology_from_spec(
+            parse_topology_spec("chiplet:2x2x3x3"), 3, 3)),
+        ("chiplet-star", topology_from_spec(
+            parse_topology_spec("chiplet:2x2x3x3:star"), 3, 3)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,topo", _all_topologies(), ids=lambda v: v if isinstance(v, str)
+    else ""
+)
+def test_route_rows_match_next_port_oracle(name, topo):
+    """Satellite 2: the flattened tables agree with ``next_port`` for
+    every (src, dst) pair, and indexing matches the lazy builder."""
+    n = topo.num_nodes
+    for src in range(n):
+        row = topo.route_row(src)
+        assert len(row) == n
+        for dst in range(n):
+            if dst == src:
+                continue
+            assert row[dst] is topo.next_port(src, dst), (
+                f"{name}: dense row disagrees at ({src}, {dst})"
+            )
+            assert topo.route_port(src, dst) is row[dst]
+
+
+def test_route_memo_stays_bounded_and_correct():
+    """The per-instance ``route()`` memo evicts wholesale at its cap
+    instead of growing per (src, dst) pair forever."""
+    from repro.noc.topology import _ROUTE_CACHE_CAP
+
+    topo = MeshTopology(8, 8)
+    pairs = [(s, d) for s in range(64) for d in range(64) if s != d]
+    assert len(pairs) < _ROUTE_CACHE_CAP  # one mesh fits entirely
+    for src, dst in pairs:
+        topo.route(src, dst)
+    assert len(topo._route_cache) <= _ROUTE_CACHE_CAP
+    expected = topo.route(5, 58)
+    # Stuff the memo to its cap with foreign keys: the next miss must
+    # evict wholesale instead of growing without bound.
+    topo._route_cache = {
+        ("stuffed", i): () for i in range(_ROUTE_CACHE_CAP)
+    }
+    route = topo.route(5, 58)
+    assert route == expected
+    assert len(topo._route_cache) < _ROUTE_CACHE_CAP
+    assert route[0][0] == 5 and route[-1][0] == 58
+
+
+# -- fast path vs. generic path: pinned golden digests ----------------------
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+def test_generic_path_matches_golden_network_digest(kind, no_fastpath):
+    """Satellite 3: the pinned network digests hold with the
+    specialized ``step`` bindings disabled (``REPRO_NO_FASTPATH``)."""
+    assert _network_digest(kind) == GOLDEN_NETWORK[kind]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+def test_generic_path_matches_golden_system_digest(kind, no_fastpath):
+    assert _system_digest(kind) == GOLDEN_SYSTEM[kind]
+
+
+@pytest.mark.parametrize("spec", sorted(GOLDEN_CHIPLET), ids=str)
+def test_generic_path_matches_golden_chiplet_digest(spec, no_fastpath):
+    net, traffic = _chiplet_run(spec)
+    traffic.run(800)
+    net.drain(max_cycles=20000)
+    assert _digest(net.stats.summary()) == GOLDEN_CHIPLET[spec]
+
+
+def _chaos_digest(kind: NocKind):
+    """Fault sweep with the invariant suite attached (mirrors the
+    time-skip chaos parity scenario)."""
+    reset_packet_ids()
+    net = build_network(NocParams(kind=kind, mesh_width=8, mesh_height=8))
+    schedule = FaultSchedule.random(11, net.topology.num_nodes, 300)
+    injector = FaultInjector(schedule)
+    suite = InvariantSuite(raise_on_violation=False)
+    net.attach(faults=injector, invariants=suite)
+    SyntheticTraffic(
+        net, TrafficPattern.UNIFORM_RANDOM, 0.03, seed=3
+    ).run(300)
+    net.run(1500)
+    return (
+        _digest(net.stats.summary()),
+        dict(injector.counts),
+        suite.audits_run,
+        [str(v) for v in suite.violations],
+    )
+
+
+@pytest.mark.parametrize(
+    "kind", (NocKind.MESH, NocKind.SMART, NocKind.MESH_PRA),
+    ids=lambda k: k.value,
+)
+def test_chaos_sweep_is_fastpath_neutral(kind):
+    """Chaos runs take the generic step anyway (observer fallback), so
+    enabling the fast path must not perturb them at all."""
+    with_fast = _chaos_digest(kind)
+    set_fastpath(False)
+    try:
+        without = _chaos_digest(kind)
+    finally:
+        set_fastpath(True)
+    assert with_fast == without
+
+
+@pytest.mark.parametrize(
+    "key,kind,topology",
+    [(key, kind, topology)
+     for key, kind, topology in
+     __import__("repro.bench.harness", fromlist=["_CONTESTED_CELLS"])
+     ._CONTESTED_CELLS],
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_contested_cells_are_fastpath_neutral(key, kind, topology):
+    """The profile-guided contested cells — the loads the fast paths
+    were built for — digest identically with the fast path on and off."""
+    from repro.bench.harness import _time_contested_cell
+
+    on = _time_contested_cell(kind, topology)
+    set_fastpath(False)
+    try:
+        off = _time_contested_cell(kind, topology)
+    finally:
+        set_fastpath(True)
+    assert on["digest"] == off["digest"]
+    assert on["cycles"] == off["cycles"]
+
+
+def test_fast_step_bindings_elected_only_when_safe():
+    """Plain mesh gets the full inline step, SMART its fused pipeline,
+    PRA its own flattened pipeline, and ring/chiplet (escape-layer
+    routing) keep the generic layered path."""
+    mesh = build_network(NocParams(kind=NocKind.MESH, mesh_width=4,
+                                   mesh_height=4))
+    assert all("_step_fast" in repr(r.step) for r in mesh.routers)
+    smart = build_network(NocParams(kind=NocKind.SMART, mesh_width=4,
+                                    mesh_height=4))
+    assert all("_step_fast_smart" in repr(r.step) for r in smart.routers)
+    pra = build_network(NocParams(kind=NocKind.MESH_PRA, mesh_width=4,
+                                  mesh_height=4))
+    assert all("_step_fast_pra" in repr(r.step) for r in pra.routers)
+    ring = build_ring(8)
+    assert all("step" not in vars(r) for r in ring.routers)
+
+
+def test_set_fastpath_controls_new_networks(no_fastpath):
+    assert not fastpath_enabled()
+    net = build_network(NocParams(kind=NocKind.MESH, mesh_width=4,
+                                  mesh_height=4))
+    assert net.fastpath is False
+    # No instance binding: every router keeps the generic class step.
+    assert all("step" not in vars(r) for r in net.routers)
+    set_fastpath(True)
+    assert build_network(
+        NocParams(kind=NocKind.MESH, mesh_width=4, mesh_height=4)
+    ).fastpath is True
+
+
+def test_cli_no_fastpath_flag_is_digest_neutral(capsys):
+    from repro.cli import main
+
+    def run(extra):
+        argv = ["simulate", "web", "--noc", "mesh", "--warmup", "50",
+                "--measure", "200", "--seed", "3", "--digest"] + extra
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines()
+                if line.startswith("digest:")][0]
+
+    try:
+        fast = run([])
+        slow = run(["--no-fastpath"])
+    finally:
+        set_fastpath(True)
+    assert fast == slow
+
+
+# -- batched dispatch: wake order must never matter -------------------------
+
+
+def _burst(net, order):
+    """Inject one single-flit packet at each node of ``order`` (in that
+    order) targeting the opposite corner, then run to completion."""
+    reset_packet_ids()
+    deliveries = {}
+    net.on_delivery(
+        lambda packet, now: deliveries.setdefault(
+            (packet.src, packet.dst), now
+        )
+    )
+    n = net.topology.num_nodes
+    for node in order:
+        net.send(packet_pool.acquire(node, n - 1 - node,
+                                     MessageClass.REQUEST,
+                                     created=net.cycle))
+    net.drain(max_cycles=20000)
+    return deliveries
+
+
+def test_out_of_order_wakes_are_sorted_and_deterministic():
+    """Satellite 6: wakes arriving in descending node order dirty the
+    sorted flag, and the results match the ascending-order run."""
+    params = NocParams(kind=NocKind.MESH, mesh_width=4, mesh_height=4)
+    net = build_network(params)
+    order = list(range(net.topology.num_nodes))
+    forward = _burst(net, order)
+
+    net = build_network(params)
+    assert net._ni_sorted
+    backward = _burst(net, list(reversed(order)))
+    assert forward == backward
+
+
+def test_wake_flags_track_out_of_order_appends():
+    net = build_network(NocParams(kind=NocKind.MESH, mesh_width=4,
+                                  mesh_height=4))
+    net.wake_ni(5)
+    assert net._ni_sorted
+    net.wake_ni(2)  # out of order: flag must go dirty
+    assert not net._ni_sorted
+    net.wake_router(1)
+    net.wake_router(4)
+    assert net._router_sorted  # ascending appends stay clean
+    net.step()
+    # The step loop consumed both queues and restored the invariant.
+    assert net._ni_sorted
